@@ -1,0 +1,135 @@
+// Command analyze recomputes figures from a previously exported dataset
+// CSV, demonstrating that the released artifact alone suffices for the
+// paper's telemetry-based analysis (Figs. 5, 8, 9, 10-14).
+//
+// Usage:
+//
+//	analyze -i dataset.csv [-days N] [-fig fig9]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"sapsim/internal/analysis"
+	"sapsim/internal/core"
+	"sapsim/internal/dataset"
+	"sapsim/internal/exporter"
+	"sapsim/internal/forecast"
+	"sapsim/internal/promql"
+	"sapsim/internal/report"
+	"sapsim/internal/sim"
+	"sapsim/internal/telemetry"
+)
+
+func main() {
+	var (
+		in    = flag.String("i", "dataset.csv", "input dataset CSV")
+		days  = flag.Int("days", 30, "observation window in days")
+		fig   = flag.String("fig", "all", "figure to compute: fig5, fig8, fig9, fig10, fig13, fig14a, fig14b, or all")
+		query = flag.String("query", "", "PromQL expression to evaluate instead of figures")
+		at    = flag.Float64("at", -1, "query evaluation time in seconds since epoch (default: end of window)")
+		oc    = flag.Bool("recommend-overcommit", false, "derive a workload-based vCPU:pCPU overcommit factor (Sec. 7 guidance)")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	store, err := dataset.Read(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded %s: %d series, %d samples\n\n", *in, store.SeriesCount(), store.SampleCount())
+
+	if *query != "" {
+		engine := &promql.Engine{Store: store}
+		evalAt := sim.Time(*days) * sim.Day
+		if *at >= 0 {
+			evalAt = sim.Time(*at * float64(sim.Second))
+		}
+		vec, err := engine.Query(*query, evalAt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("query %s @ %s:\n%s", *query, evalAt, promql.Format(vec))
+		return
+	}
+
+	if *oc {
+		// Overcommit works through statistical multiplexing: the input
+		// is the *aggregate* per-vCPU demand ratio of the population at
+		// each sampling instant, not individual VM tails.
+		sums := map[sim.Time]float64{}
+		counts := map[sim.Time]int{}
+		for _, s := range store.Select(exporter.MetricVMCPURatio) {
+			for _, smp := range s.Samples {
+				sums[smp.T] += smp.V
+				counts[smp.T]++
+			}
+		}
+		var ratios []float64
+		for ts, sum := range sums {
+			ratios = append(ratios, sum/float64(counts[ts]))
+		}
+		rec, err := forecast.DynamicOvercommit(ratios, 1.25)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("p99 aggregate per-vCPU demand ratio: %.3f (over %d instants)\n", rec.PeakDemandRatio, len(ratios))
+		fmt.Printf("recommended vCPU:pCPU overcommit:    %.1f:1 (headroom %.2f)\n", rec.Ratio, rec.Headroom)
+		return
+	}
+
+	want := func(id string) bool { return *fig == "all" || *fig == id }
+
+	if want("fig5") {
+		h := analysis.DailyHeatmap(store, exporter.MetricHostCPUUtil, "hostsystem", *days, analysis.FreePercent)
+		fmt.Println("fig5: free CPU per node — top columns (most free first):")
+		fmt.Println(report.HeatmapSummary(h, 10))
+	}
+	if want("fig8") {
+		top := analysis.TopKByMax(store, exporter.MetricHostCPUReady, "hostsystem", 10,
+			func(ms float64) float64 { return ms / 1000 })
+		fmt.Println("fig8: top-10 nodes by CPU ready time (s):")
+		fmt.Println(report.NodeStatsTable(top, "s"))
+	}
+	if want("fig9") {
+		daily := analysis.DailyPooled(store, exporter.MetricHostCPUCont, *days)
+		fmt.Println("fig9: region-wide CPU contention per day:")
+		fmt.Println(report.DailySeriesCSV(daily))
+	}
+	if want("fig10") {
+		h := analysis.DailyHeatmap(store, exporter.MetricHostMemUsage, "hostsystem", *days, analysis.FreePercent)
+		fmt.Println("fig10: free memory per node — top columns:")
+		fmt.Println(report.HeatmapSummary(h, 10))
+	}
+	if want("fig13") {
+		h := analysis.DailyHeatmap(store, core.MetricHostDiskPct, "hostsystem", *days, analysis.FreePercent)
+		d := analysis.StorageSummary(h)
+		fmt.Printf("fig13: storage — %.0f%% of hosts >90%% free, %.0f%% using >30%% (paper: 18%% / 7%%)\n\n",
+			d.FracAbove90Free*100, d.FracAbove30Used*100)
+	}
+	if want("fig14a") {
+		printCDF(store, exporter.MetricVMCPURatio, "fig14a: VM CPU usage", *days)
+	}
+	if want("fig14b") {
+		printCDF(store, exporter.MetricVMMemRatio, "fig14b: VM memory usage", *days)
+	}
+}
+
+func printCDF(store *telemetry.Store, metric, title string, days int) {
+	cdf := analysis.VMMeanUsage(store, metric, 0, sim.Time(days)*sim.Day)
+	split := analysis.SplitUtilization(cdf)
+	fmt.Println(title + ":")
+	fmt.Println(report.UtilizationSplitTable(split))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "analyze:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Command exporter serves a live simulated fleet's metrics in Prometheus
+// text format over HTTP — the vROps/Nova exporter stand-in of Sec. 4. The
+// simulation clock advances in real time at a configurable speedup, so a
+// real Prometheus (or cmd/analyze after scraping) can pull from it.
+//
+// Usage:
+//
+//	exporter [-addr :9100] [-speedup 3600] [-scale 0.02] [-vms 400]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"sapsim/internal/esx"
+	"sapsim/internal/exporter"
+	"sapsim/internal/nova"
+	"sapsim/internal/placement"
+	"sapsim/internal/sim"
+	"sapsim/internal/topology"
+	"sapsim/internal/vmmodel"
+	"sapsim/internal/workload"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":9100", "listen address")
+		speedup = flag.Float64("speedup", 3600, "simulated seconds per wall-clock second")
+		scale   = flag.Float64("scale", 0.02, "region scale")
+		vms     = flag.Int("vms", 400, "VM population")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	region, err := topology.Build(topology.DefaultBuildSpec(*scale))
+	if err != nil {
+		fatal(err)
+	}
+	fleet := esx.NewFleet(region, esx.DefaultConfig())
+	sched, err := nova.NewScheduler(fleet, placement.NewService(), nova.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+
+	// Place the initial population.
+	spec := workload.DefaultSpec(*vms, *seed)
+	var live []*vmmodel.VM
+	for _, in := range workload.NewGenerator(spec).Generate() {
+		if in.ArriveAt > 0 {
+			continue
+		}
+		if _, err := sched.Schedule(&nova.RequestSpec{VM: in.VM}, 0); err == nil {
+			live = append(live, in.VM)
+		}
+	}
+	fmt.Printf("fleet up: %d nodes, %d VMs placed\n", region.NodeCount(), len(live))
+
+	start := time.Now()
+	exp := &exporter.Exporter{
+		Fleet: fleet,
+		VMs:   func() []*vmmodel.VM { return live },
+		Clock: func() sim.Time {
+			return sim.Time(float64(time.Since(start)) * *speedup)
+		},
+		Interval: 5 * sim.Minute,
+	}
+	http.Handle("/metrics", exp.Handler())
+	fmt.Printf("serving Prometheus metrics on %s/metrics (speedup %.0fx)\n", *addr, *speedup)
+	if err := http.ListenAndServe(*addr, nil); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "exporter:", err)
+	os.Exit(1)
+}

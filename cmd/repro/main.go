@@ -1,0 +1,107 @@
+// Command repro regenerates every table and figure of the paper from one
+// simulated 30-day observation window, printing the paper's claim next to
+// the measured values for side-by-side comparison.
+//
+// Usage:
+//
+//	repro [-seed N] [-scale F] [-vms N] [-days N] [-id fig5] [-out DIR]
+//
+// With -id, only the named experiment runs; otherwise all of them.
+// With -out, each artifact's full text is written to DIR/<id>.txt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"sapsim"
+	"sapsim/internal/sim"
+)
+
+func main() {
+	var (
+		seed  = flag.Uint64("seed", 2024, "random seed (runs are deterministic per seed)")
+		scale = flag.Float64("scale", 0.05, "region scale (1.0 = 1,823 hypervisors)")
+		vms   = flag.Int("vms", 2400, "initial VM population")
+		days  = flag.Int("days", 30, "observation window in days")
+		every = flag.Duration("sample", 5*time.Minute, "host sampling interval")
+		id    = flag.String("id", "", "single experiment ID (fig5..fig15b, table1..table5)")
+		out   = flag.String("out", "", "directory to write full artifact text files")
+	)
+	flag.Parse()
+
+	cfg := sapsim.DefaultConfig(*seed)
+	cfg.Scale = *scale
+	cfg.VMs = *vms
+	cfg.Days = *days
+	cfg.SampleEvery = sim.Time(*every)
+
+	fmt.Printf("running %d-day simulation: scale=%.2f (%s), %d VMs, seed %d\n",
+		cfg.Days, cfg.Scale, "region 9 replica", cfg.VMs, cfg.Seed)
+	start := time.Now()
+	res, err := sapsim.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("simulated %d nodes, %d VM instances, %d samples in %v\n\n",
+		res.Region.NodeCount(), len(res.VMs), res.Store.SampleCount(), time.Since(start).Round(time.Millisecond))
+
+	experiments := sapsim.Experiments()
+	if *id != "" {
+		exp, ok := sapsim.ExperimentByID(*id)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q", *id))
+		}
+		experiments = []sapsim.Experiment{exp}
+	}
+
+	for _, exp := range experiments {
+		art, err := exp.Compute(res)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", exp.ID, err))
+		}
+		fmt.Printf("=== %s: %s\n", exp.ID, exp.Title)
+		fmt.Printf("    paper:    %s\n", exp.PaperClaim)
+		fmt.Printf("    measured: %s\n", formatValues(art.Values))
+		if *out == "" && *id != "" {
+			fmt.Println()
+			fmt.Println(art.Text)
+		}
+		if *out != "" {
+			path := filepath.Join(*out, exp.ID+".txt")
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(art.Text), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("    written:  %s\n", path)
+		}
+		fmt.Println()
+	}
+}
+
+func formatValues(values map[string]float64) string {
+	keys := make([]string, 0, len(values))
+	for k := range values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for i, k := range keys {
+		if i > 0 {
+			s += "  "
+		}
+		s += fmt.Sprintf("%s=%.3g", k, values[k])
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repro:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command sapsim runs a full simulation of the SAP Cloud Infrastructure
+// regional deployment and exports the resulting telemetry as the anonymized
+// CSV dataset (the Zenodo-artifact equivalent).
+//
+// Usage:
+//
+//	sapsim [-seed N] [-scale F] [-vms N] [-days N] -o dataset.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sapsim"
+	"sapsim/internal/dataset"
+	"sapsim/internal/events"
+	"sapsim/internal/sim"
+	"sapsim/internal/vmmodel"
+)
+
+func main() {
+	var (
+		seed  = flag.Uint64("seed", 2024, "random seed")
+		scale = flag.Float64("scale", 0.05, "region scale (1.0 = 1,823 hypervisors)")
+		vms   = flag.Int("vms", 2400, "initial VM population")
+		days  = flag.Int("days", 30, "observation window in days")
+		every = flag.Duration("sample", 5*time.Minute, "host sampling interval")
+		out   = flag.String("o", "dataset.csv", "output CSV path")
+		evOut = flag.String("events", "", "also export the scheduling event stream to this CSV")
+		flOut = flag.String("flavors", "", "also export the flavor catalog to this CSV")
+		salt  = flag.String("salt", "sap-cloud-dataset", "anonymization salt")
+		raw   = flag.Bool("raw", false, "skip anonymization (keep entity names)")
+	)
+	flag.Parse()
+
+	cfg := sapsim.DefaultConfig(*seed)
+	cfg.Scale = *scale
+	cfg.VMs = *vms
+	cfg.Days = *days
+	cfg.SampleEvery = sim.Time(*every)
+
+	start := time.Now()
+	res, err := sapsim.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("simulated %d days: %d nodes, %d VMs, %d series, %d samples (%v)\n",
+		cfg.Days, res.Region.NodeCount(), len(res.VMs),
+		res.Store.SeriesCount(), res.Store.SampleCount(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("scheduler: %d placed, %d failed, %d retries; DRS migrations: %d\n",
+		res.SchedStats.Scheduled, res.SchedStats.Failed, res.SchedStats.Retries, res.DRSMigrations)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	opts := dataset.WriteOptions{}
+	if !*raw {
+		opts.Anonymizer = dataset.NewAnonymizer(*salt)
+		opts.AnonymizeLabels = dataset.DefaultAnonymizedLabels()
+	}
+	if err := dataset.Write(w, res.Store, opts); err != nil {
+		fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataset written: %s (%.1f MiB)\n", *out, float64(info.Size())/(1<<20))
+
+	if *evOut != "" {
+		ef, err := os.Create(*evOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer ef.Close()
+		ew := bufio.NewWriter(ef)
+		// Avoid handing WriteCSV a typed-nil interface when -raw is set.
+		var anon events.Anonymizer
+		if opts.Anonymizer != nil {
+			anon = opts.Anonymizer
+		}
+		if err := res.Events.WriteCSV(ew, anon); err != nil {
+			fatal(err)
+		}
+		if err := ew.Flush(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("events written: %s (%d events)\n", *evOut, res.Events.Len())
+	}
+
+	if *flOut != "" {
+		ff, err := os.Create(*flOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer ff.Close()
+		if err := dataset.WriteFlavors(ff, vmmodel.Catalog()); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("flavors written: %s\n", *flOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sapsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Scheduler comparison: run the same workload under three placement
+// policies — the SAP production posture (spread general, bin-pack HANA),
+// pure spreading, and contention-aware placement — and compare placement
+// success, fleet imbalance, and contention. This is the runnable form of
+// the paper's Sec. 7 guidance ("placement and dynamic rescheduling should
+// be combined", "CPU contention should be mitigated").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sapsim"
+	"sapsim/internal/analysis"
+	"sapsim/internal/exporter"
+	"sapsim/internal/nova"
+	"sapsim/internal/sim"
+)
+
+type policy struct {
+	name   string
+	mutate func(*sapsim.Config)
+}
+
+func main() {
+	policies := []policy{
+		{"sap-production (spread gp, pack HANA)", func(cfg *sapsim.Config) {}},
+		{"spread-everything", func(cfg *sapsim.Config) {
+			cfg.Scheduler.Weighers = []nova.Weigher{
+				nova.RAMWeigher{Mult: 1, SAPPolicy: false},
+				nova.CPUWeigher{Mult: 0.5},
+			}
+			cfg.Scheduler.HANANodePolicy = nova.SpreadNodes
+		}},
+		{"contention-aware", func(cfg *sapsim.Config) {
+			cfg.ContentionFeed = true
+			cfg.Scheduler.Weighers = []nova.Weigher{
+				nova.ContentionWeigher{Mult: 2},
+				nova.RAMWeigher{Mult: 1, SAPPolicy: true},
+				nova.CPUWeigher{Mult: 0.5},
+			}
+		}},
+	}
+
+	fmt.Printf("%-40s %9s %8s %12s %12s\n",
+		"policy", "failures", "retries", "maxcont(%)", "spread(pts)")
+	for _, p := range policies {
+		cfg := sapsim.DefaultConfig(7)
+		cfg.Scale = 0.03
+		cfg.VMs = 900
+		cfg.Days = 7
+		cfg.SampleEvery = 15 * sim.Minute
+		cfg.RecordVMMetrics = false
+		p.mutate(&cfg)
+
+		res, err := sapsim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		maxCont := 0.0
+		for _, d := range analysis.DailyPooled(res.Store, exporter.MetricHostCPUCont, cfg.Days) {
+			if d.N > 0 && d.Max > maxCont {
+				maxCont = d.Max
+			}
+		}
+		h := analysis.DailyHeatmap(res.Store, exporter.MetricHostCPUUtil, "hostsystem",
+			cfg.Days, analysis.FreePercent)
+		spread := 0.0
+		if n := len(h.Columns); n > 1 {
+			spread = h.ColumnMean(0) - h.ColumnMean(n-1)
+		}
+		fmt.Printf("%-40s %9d %8d %12.1f %12.1f\n",
+			p.name, res.PlacementFailures, res.SchedStats.Retries, maxCont, spread)
+	}
+	fmt.Println("\nreading: packing concentrates load (higher contention, wider spread);")
+	fmt.Println("contention-aware placement trades a little balance for fewer hot spots.")
+}

@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"sapsim/internal/sim"
+	"sapsim/internal/telemetry"
+	"sapsim/internal/vmmodel"
+)
+
+func fill(t *testing.T, st *telemetry.Store, metric, node string, days int, value func(day int) float64) {
+	t.Helper()
+	l := telemetry.MustLabels("hostsystem", node)
+	for d := 0; d < days; d++ {
+		ts := sim.Time(d)*sim.Day + sim.Hour
+		if err := st.Append(metric, l, ts, value(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDailyHeatmapSortedByFree(t *testing.T) {
+	st := telemetry.NewStore()
+	// n-busy: 80% used; n-idle: 10% used; n-mid: 50%.
+	fill(t, st, "cpu", "n-busy", 3, func(int) float64 { return 80 })
+	fill(t, st, "cpu", "n-idle", 3, func(int) float64 { return 10 })
+	fill(t, st, "cpu", "n-mid", 3, func(int) float64 { return 50 })
+
+	h := DailyHeatmap(st, "cpu", "hostsystem", 3, FreePercent)
+	if len(h.Columns) != 3 {
+		t.Fatalf("columns = %v", h.Columns)
+	}
+	// Most free first: idle (90 free), mid (50), busy (20).
+	if h.Columns[0] != "n-idle" || h.Columns[1] != "n-mid" || h.Columns[2] != "n-busy" {
+		t.Errorf("column order = %v", h.Columns)
+	}
+	if got := h.Cell(0, 0); got != 90 {
+		t.Errorf("cell(0,0) = %v, want 90", got)
+	}
+	if got := h.ColumnMean(2); got != 20 {
+		t.Errorf("busy column mean = %v, want 20", got)
+	}
+}
+
+func TestDailyHeatmapMissingData(t *testing.T) {
+	st := telemetry.NewStore()
+	l := telemetry.MustLabels("hostsystem", "n1")
+	// Data only on day 0 and day 2.
+	if err := st.Append("cpu", l, sim.Hour, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append("cpu", l, 2*sim.Day+sim.Hour, 60); err != nil {
+		t.Fatal(err)
+	}
+	h := DailyHeatmap(st, "cpu", "hostsystem", 3, FreePercent)
+	if !math.IsNaN(h.Cell(1, 0)) {
+		t.Errorf("missing day should be NaN, got %v", h.Cell(1, 0))
+	}
+	if h.Cell(0, 0) != 60 || h.Cell(2, 0) != 40 {
+		t.Errorf("cells = %v / %v", h.Cell(0, 0), h.Cell(2, 0))
+	}
+}
+
+func TestDailyHeatmapSkipsUnlabeled(t *testing.T) {
+	st := telemetry.NewStore()
+	if err := st.Append("cpu", telemetry.MustLabels("other", "x"), sim.Hour, 5); err != nil {
+		t.Fatal(err)
+	}
+	h := DailyHeatmap(st, "cpu", "hostsystem", 1, Identity)
+	if len(h.Columns) != 0 {
+		t.Errorf("unlabeled series produced columns: %v", h.Columns)
+	}
+}
+
+func TestGroupedHeatmap(t *testing.T) {
+	st := telemetry.NewStore()
+	fill(t, st, "cpu", "bb0-n0", 2, func(int) float64 { return 20 })
+	fill(t, st, "cpu", "bb0-n1", 2, func(int) float64 { return 40 })
+	fill(t, st, "cpu", "bb1-n0", 2, func(int) float64 { return 80 })
+	groupOf := func(node string) string { return node[:3] }
+	h := GroupedHeatmap(st, "cpu", "hostsystem", 2, FreePercent, groupOf)
+	if len(h.Columns) != 2 {
+		t.Fatalf("columns = %v", h.Columns)
+	}
+	// bb0 free = 100-30 = 70; bb1 free = 20. Most free first.
+	if h.Columns[0] != "bb0" || h.Cell(0, 0) != 70 {
+		t.Errorf("bb0 column: %v cell %v", h.Columns, h.Cell(0, 0))
+	}
+	if h.Cell(0, 1) != 20 {
+		t.Errorf("bb1 cell = %v", h.Cell(0, 1))
+	}
+}
+
+func TestTopKByMax(t *testing.T) {
+	st := telemetry.NewStore()
+	fill(t, st, "ready_ms", "n-a", 5, func(d int) float64 { return float64(d) * 10000 }) // max 40000
+	fill(t, st, "ready_ms", "n-b", 5, func(d int) float64 { return 220000 })             // max 220000
+	fill(t, st, "ready_ms", "n-c", 5, func(d int) float64 { return 1000 })               // max 1000
+	toSec := func(ms float64) float64 { return ms / 1000 }
+	top := TopKByMax(st, "ready_ms", "hostsystem", 2, toSec)
+	if len(top) != 2 {
+		t.Fatalf("topk = %d", len(top))
+	}
+	if top[0].Node != "n-b" || top[0].Max != 220 {
+		t.Errorf("top node = %+v", top[0])
+	}
+	if top[1].Node != "n-a" || top[1].Max != 40 {
+		t.Errorf("second node = %+v", top[1])
+	}
+	if top[0].Mean != 220 {
+		t.Errorf("n-b mean = %v", top[0].Mean)
+	}
+	// k=0 returns all.
+	if all := TopKByMax(st, "ready_ms", "hostsystem", 0, Identity); len(all) != 3 {
+		t.Errorf("k=0 returned %d", len(all))
+	}
+}
+
+func TestDailyPooled(t *testing.T) {
+	st := telemetry.NewStore()
+	fill(t, st, "cont", "n1", 2, func(d int) float64 { return 10 })
+	fill(t, st, "cont", "n2", 2, func(d int) float64 { return 30 })
+	days := DailyPooled(st, "cont", 3)
+	if len(days) != 3 {
+		t.Fatalf("days = %d", len(days))
+	}
+	if days[0].Mean != 20 || days[0].Max != 30 || days[0].N != 2 {
+		t.Errorf("day0 = %+v", days[0])
+	}
+	if days[2].N != 0 || !math.IsNaN(days[2].Mean) {
+		t.Errorf("empty day = %+v", days[2])
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{0.1, 0.5, 0.5, 0.9, math.NaN()})
+	if len(c.Values) != 4 {
+		t.Fatalf("NaN not dropped: %v", c.Values)
+	}
+	if got := c.At(0.5); got != 0.75 {
+		t.Errorf("At(0.5) = %v, want 0.75", got)
+	}
+	if got := c.At(0.05); got != 0 {
+		t.Errorf("At(0.05) = %v, want 0", got)
+	}
+	if got := c.At(1.0); got != 1 {
+		t.Errorf("At(1.0) = %v, want 1", got)
+	}
+	if q := c.Quantile(0.5); q < 0.1 || q > 0.9 {
+		t.Errorf("median = %v", q)
+	}
+	empty := NewCDF(nil)
+	if !math.IsNaN(empty.At(0.5)) || !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty CDF should be NaN")
+	}
+}
+
+func TestSplitUtilization(t *testing.T) {
+	// 6 under (<0.70), 2 optimal, 2 over.
+	c := NewCDF([]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.69, 0.75, 0.80, 0.90, 0.99})
+	s := SplitUtilization(c)
+	if math.Abs(s.Under-0.6) > 1e-9 {
+		t.Errorf("under = %v, want 0.6", s.Under)
+	}
+	if math.Abs(s.Optimal-0.2) > 1e-9 {
+		t.Errorf("optimal = %v, want 0.2", s.Optimal)
+	}
+	if math.Abs(s.Over-0.2) > 1e-9 {
+		t.Errorf("over = %v, want 0.2", s.Over)
+	}
+	if s.N != 10 {
+		t.Errorf("N = %d", s.N)
+	}
+	if z := SplitUtilization(NewCDF(nil)); z.N != 0 {
+		t.Errorf("empty split = %+v", z)
+	}
+}
+
+func TestVMMeanUsage(t *testing.T) {
+	st := telemetry.NewStore()
+	l1 := telemetry.MustLabels("virtualmachine", "vm1")
+	l2 := telemetry.MustLabels("virtualmachine", "vm2")
+	for i := 0; i < 4; i++ {
+		ts := sim.Time(i) * sim.Hour
+		if err := st.Append("usage", l1, ts, 0.2); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Append("usage", l2, ts, 0.9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := VMMeanUsage(st, "usage", 0, sim.Day)
+	if len(c.Values) != 2 {
+		t.Fatalf("values = %v", c.Values)
+	}
+	if c.Values[0] != 0.2 || math.Abs(c.Values[1]-0.9) > 1e-12 {
+		t.Errorf("means = %v", c.Values)
+	}
+}
+
+func TestLifetimeByFlavor(t *testing.T) {
+	cat := vmmodel.CatalogByName()
+	var recs []LifetimeRecord
+	for i := 0; i < 40; i++ {
+		recs = append(recs, LifetimeRecord{Flavor: cat["MK"], Lifetime: sim.Week})
+	}
+	for i := 0; i < 35; i++ {
+		recs = append(recs, LifetimeRecord{Flavor: cat["XLL"], Lifetime: 365 * sim.Day})
+	}
+	// Below the min-count cutoff.
+	for i := 0; i < 5; i++ {
+		recs = append(recs, LifetimeRecord{Flavor: cat["SA"], Lifetime: sim.Hour})
+	}
+	out := LifetimeByFlavor(recs, 30)
+	if len(out) != 2 {
+		t.Fatalf("flavors = %d, want 2 (SA below cutoff)", len(out))
+	}
+	// Sorted by vCPU class: MK (Small) before XLL (ExtraLarge).
+	if out[0].Flavor.Name != "MK" || out[1].Flavor.Name != "XLL" {
+		t.Errorf("order = %s, %s", out[0].Flavor.Name, out[1].Flavor.Name)
+	}
+	if math.Abs(out[0].MeanHours-168) > 1e-9 {
+		t.Errorf("MK mean = %v, want 168", out[0].MeanHours)
+	}
+	if out[0].Count != 40 {
+		t.Errorf("MK count = %d", out[0].Count)
+	}
+	if out[1].RAMClass != vmmodel.ExtraLarge {
+		t.Errorf("XLL RAM class = %v", out[1].RAMClass)
+	}
+}
+
+func TestMedianLifetime(t *testing.T) {
+	cat := vmmodel.CatalogByName()
+	recs := []LifetimeRecord{
+		{cat["MK"], sim.Day},
+		{cat["MK"], sim.Week},
+		{cat["MK"], 30 * sim.Day},
+	}
+	if got := MedianLifetimeHours(recs); got != 168 {
+		t.Errorf("median = %v, want 168", got)
+	}
+	if !math.IsNaN(MedianLifetimeHours(nil)) {
+		t.Error("empty median should be NaN")
+	}
+}
+
+func TestClassCount(t *testing.T) {
+	cat := vmmodel.CatalogByName()
+	vms := []*vmmodel.VM{
+		{Flavor: cat["SA"]}, {Flavor: cat["SA"]}, {Flavor: cat["MJ"]}, {Flavor: cat["XLL"]},
+	}
+	byV := ClassCount(vms, func(f *vmmodel.Flavor) vmmodel.SizeClass { return f.VCPUClass() })
+	if byV[vmmodel.Small] != 2 || byV[vmmodel.Medium] != 1 || byV[vmmodel.ExtraLarge] != 1 {
+		t.Errorf("vCPU classes = %v", byV)
+	}
+	byR := ClassCount(vms, func(f *vmmodel.Flavor) vmmodel.SizeClass { return f.RAMClass() })
+	if byR[vmmodel.Small] != 2 || byR[vmmodel.Medium] != 1 || byR[vmmodel.ExtraLarge] != 1 {
+		t.Errorf("RAM classes = %v", byR)
+	}
+}
+
+func TestStorageSummary(t *testing.T) {
+	st := telemetry.NewStore()
+	// Free storage percentages: 95 (above 90), 50 (>30 used), 80 (neither).
+	fill(t, st, "disk_free", "n1", 2, func(int) float64 { return 95 })
+	fill(t, st, "disk_free", "n2", 2, func(int) float64 { return 50 })
+	fill(t, st, "disk_free", "n3", 2, func(int) float64 { return 80 })
+	h := DailyHeatmap(st, "disk_free", "hostsystem", 2, Identity)
+	d := StorageSummary(h)
+	if d.N != 3 {
+		t.Fatalf("N = %d", d.N)
+	}
+	if math.Abs(d.FracAbove90Free-1.0/3) > 1e-9 {
+		t.Errorf("above90free = %v", d.FracAbove90Free)
+	}
+	if math.Abs(d.FracAbove30Used-1.0/3) > 1e-9 {
+		t.Errorf("above30used = %v", d.FracAbove30Used)
+	}
+}

@@ -1,0 +1,213 @@
+package binpack
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"sapsim/internal/vmmodel"
+)
+
+func item(id string, cpu, mem int64) Item { return Item{ID: id, CPU: cpu, MemMB: mem} }
+
+func TestBinAccounting(t *testing.T) {
+	b := NewBin("b", 10, 100)
+	if err := b.Add(item("a", 4, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if b.CPUUsed() != 4 || b.MemUsed() != 40 {
+		t.Errorf("usage = %d/%d", b.CPUUsed(), b.MemUsed())
+	}
+	if !b.Fits(item("b", 6, 60)) {
+		t.Error("exact fit rejected")
+	}
+	if b.Fits(item("c", 7, 1)) {
+		t.Error("CPU overflow accepted")
+	}
+	if b.Fits(item("d", 1, 61)) {
+		t.Error("memory overflow accepted")
+	}
+	if err := b.Add(item("e", 20, 20)); err == nil {
+		t.Error("Add of oversized item succeeded")
+	}
+}
+
+func TestFirstFitOrder(t *testing.T) {
+	b1, b2 := NewBin("1", 10, 100), NewBin("2", 10, 100)
+	b1.Add(item("x", 9, 10))
+	got := FirstFit{}.Choose([]*Bin{b1, b2}, item("a", 2, 5))
+	if got != b2 {
+		t.Error("FirstFit skipped to wrong bin")
+	}
+	got = FirstFit{}.Choose([]*Bin{b1, b2}, item("a", 1, 5))
+	if got != b1 {
+		t.Error("FirstFit should pick the first fitting bin")
+	}
+}
+
+func TestBestFitPicksFullest(t *testing.T) {
+	nearly := NewBin("full", 10, 100)
+	nearly.Add(item("x", 7, 70))
+	empty := NewBin("empty", 10, 100)
+	got := BestFit{}.Choose([]*Bin{empty, nearly}, item("a", 2, 20))
+	if got != nearly {
+		t.Error("BestFit should prefer the fuller bin")
+	}
+}
+
+func TestWorstFitPicksEmptiest(t *testing.T) {
+	nearly := NewBin("full", 10, 100)
+	nearly.Add(item("x", 7, 70))
+	empty := NewBin("empty", 10, 100)
+	got := WorstFit{}.Choose([]*Bin{nearly, empty}, item("a", 2, 20))
+	if got != empty {
+		t.Error("WorstFit should prefer the emptier bin")
+	}
+}
+
+func TestNextFitOnlyLastBin(t *testing.T) {
+	b1, b2 := NewBin("1", 10, 100), NewBin("2", 10, 100)
+	b2.Add(item("x", 9, 90))
+	// b1 has room, but NextFit only looks at the last bin.
+	if got := (NextFit{}).Choose([]*Bin{b1, b2}, item("a", 2, 5)); got != nil {
+		t.Error("NextFit looked beyond the last bin")
+	}
+	if got := (NextFit{}).Choose(nil, item("a", 2, 5)); got != nil {
+		t.Error("NextFit on empty set should be nil")
+	}
+}
+
+func TestPackClassicSequence(t *testing.T) {
+	// 1D-style check (memory dimension trivial): items 6,5,4,3,2,1 into
+	// bins of 10. FirstFit: [6,4] [5,3,2] [1-> first bin? 6+4=10 full;
+	// 5+3+2=10 full; 1 opens...no: 1 fits nothing open → third bin].
+	var items []Item
+	for i, c := range []int64{6, 5, 4, 3, 2, 1} {
+		items = append(items, item(fmt.Sprintf("i%d", i), c, 1))
+	}
+	res, err := Pack(items, 10, 1000, FirstFit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Opened != 3 {
+		t.Errorf("FirstFit opened %d bins, want 3", res.Opened)
+	}
+	if res.LowerBound != 3 { // 21/10 → 3
+		t.Errorf("lower bound = %d, want 3", res.LowerBound)
+	}
+}
+
+func TestPackBestFitBeatsNextFit(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	var items []Item
+	for i := 0; i < 200; i++ {
+		items = append(items, item(fmt.Sprintf("i%d", i), int64(1+rng.IntN(50)), int64(1+rng.IntN(500))))
+	}
+	bf, err := Pack(items, 100, 1000, BestFit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, err := Pack(items, 100, 1000, NextFit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Opened > nf.Opened {
+		t.Errorf("BestFit (%d bins) worse than NextFit (%d bins)", bf.Opened, nf.Opened)
+	}
+	if bf.Utilization() < nf.Utilization() {
+		t.Errorf("BestFit utilization %.3f below NextFit %.3f", bf.Utilization(), nf.Utilization())
+	}
+}
+
+func TestPackErrors(t *testing.T) {
+	if _, err := Pack([]Item{item("a", 5, 5)}, 0, 10, FirstFit{}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := Pack([]Item{item("a", 50, 5)}, 10, 10, FirstFit{}); !errors.Is(err, ErrItemTooLarge) {
+		t.Errorf("oversized item error = %v", err)
+	}
+}
+
+func TestPackEmptyItems(t *testing.T) {
+	res, err := Pack(nil, 10, 10, BestFit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Opened != 0 || res.LowerBound != 0 || res.Utilization() != 0 {
+		t.Errorf("empty pack = %+v", res)
+	}
+}
+
+// Pack the paper's flavor catalog (weighted sample) onto HANA-node-shaped
+// bins and verify every strategy is valid and within 2× the lower bound.
+func TestPackFlavorMixAllStrategies(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	catalog := vmmodel.Catalog()
+	var items []Item
+	for i := 0; i < 500; i++ {
+		f := catalog[rng.IntN(len(catalog))]
+		items = append(items, item(fmt.Sprintf("vm%d", i), int64(f.VCPUs), int64(f.RAMGiB)<<10))
+	}
+	// Bins must admit the largest flavor (XLL, 12 TiB).
+	const cpuCap, memCap = 512, 13 << 20
+	for _, s := range Strategies() {
+		res, err := Pack(items, cpuCap, memCap, s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		for _, b := range res.Bins {
+			if b.CPUUsed() > b.CPUCap || b.MemUsed() > b.MemCap {
+				t.Fatalf("%s overflowed bin %s", s.Name(), b.ID)
+			}
+		}
+		if s.Name() != "NextFit" && res.Opened > 2*res.LowerBound {
+			t.Errorf("%s used %d bins, lower bound %d (>2x)", s.Name(), res.Opened, res.LowerBound)
+		}
+		total := 0
+		for _, b := range res.Bins {
+			total += len(b.Items)
+		}
+		if total != len(items) {
+			t.Errorf("%s lost items: %d/%d", s.Name(), total, len(items))
+		}
+	}
+}
+
+// Property: no strategy ever overflows a bin or loses items.
+func TestPropertyPackSound(t *testing.T) {
+	f := func(sizes []uint8, which uint8) bool {
+		var items []Item
+		for i, s := range sizes {
+			c := int64(s%50) + 1
+			m := int64(s%90) + 1
+			items = append(items, item(fmt.Sprintf("i%d", i), c, m))
+		}
+		s := Strategies()[int(which)%len(Strategies())]
+		res, err := Pack(items, 50, 90, s)
+		if err != nil {
+			return false
+		}
+		count := 0
+		for _, b := range res.Bins {
+			if b.CPUUsed() > b.CPUCap || b.MemUsed() > b.MemCap {
+				return false
+			}
+			count += len(b.Items)
+		}
+		return count == len(items) && res.Opened >= res.LowerBound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	want := map[string]bool{"FirstFit": true, "BestFit": true, "WorstFit": true, "NextFit": true}
+	for _, s := range Strategies() {
+		if !want[s.Name()] {
+			t.Errorf("unexpected strategy %q", s.Name())
+		}
+	}
+}

@@ -1,0 +1,457 @@
+// Package core orchestrates full experiments: build the region, generate
+// the calibrated workload, drive the Nova scheduler and DRS through a
+// discrete-event simulation of the observation window, and collect the
+// telemetry the paper's figures are computed from.
+//
+// The sampler writes host and VM metrics straight into the telemetry store
+// using the Table 4 metric names. The HTTP exporter → scraper path is the
+// same data plane and is exercised separately (internal/scrape tests and
+// examples/telemetry-pipeline); sampling in-process keeps 30-day runs fast.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"sapsim/internal/analysis"
+	"sapsim/internal/drs"
+	"sapsim/internal/esx"
+	"sapsim/internal/events"
+	"sapsim/internal/exporter"
+	"sapsim/internal/nova"
+	"sapsim/internal/placement"
+	"sapsim/internal/sim"
+	"sapsim/internal/telemetry"
+	"sapsim/internal/topology"
+	"sapsim/internal/vmmodel"
+	"sapsim/internal/workload"
+)
+
+// MetricHostDiskPct is a derived convenience metric (percentage form of the
+// Table 4 diskspace gauge) recorded alongside the catalog metrics so that
+// heatmap analysis does not need per-node capacity lookups.
+const MetricHostDiskPct = "vrops_hostsystem_diskspace_usage_percentage"
+
+// Config describes one experiment.
+type Config struct {
+	// Seed drives all randomness; equal seeds give equal runs.
+	Seed uint64
+	// Scale shrinks the studied region (1.0 ≈ 1,823 hypervisors).
+	Scale float64
+	// VMs is the target initial population (the paper's region: ~48,000).
+	VMs int
+	// Days is the observation window (the paper: 30).
+	Days int
+	// SampleEvery is the host telemetry interval (production: 30–300 s).
+	SampleEvery sim.Time
+	// VMSampleEvery is the per-VM telemetry interval; per-VM series
+	// dominate memory so they default coarser.
+	VMSampleEvery sim.Time
+	// Scheduler configures the Nova pipeline.
+	Scheduler nova.Config
+	// ESX configures hypervisor policy (overcommit etc.).
+	ESX esx.Config
+	// DRS enables intra-BB rebalancing at DRSEvery intervals.
+	DRS      bool
+	DRSEvery sim.Time
+	// CrossBB enables the external cross-BB rebalancer (daily).
+	CrossBB bool
+	// RecordVMMetrics enables per-VM series (needed for Fig. 14).
+	RecordVMMetrics bool
+	// ContentionFeed updates the scheduler's per-BB contention view at
+	// every host sample, powering the contention-aware weigher.
+	ContentionFeed bool
+	// HolisticNodeFit appends the NodeFitFilter (wired to the live
+	// fleet), collapsing the two-layer BB→node split into one node-aware
+	// decision — the Sec. 7 "holistic scheduling" ablation (A7).
+	HolisticNodeFit bool
+	// ResizeRate is the expected number of resize operations per VM over
+	// a 30-day window (resize is one of the dataset's scheduling-relevant
+	// events). Zero disables resizes.
+	ResizeRate float64
+}
+
+// DefaultConfig returns a laptop-scale replica of the paper's setup: 5% of
+// the region, 30 days, 5-minute host sampling.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:            seed,
+		Scale:           0.05,
+		VMs:             2400,
+		Days:            30,
+		SampleEvery:     5 * sim.Minute,
+		VMSampleEvery:   sim.Hour,
+		Scheduler:       nova.DefaultConfig(),
+		ESX:             esx.DefaultConfig(),
+		DRS:             true,
+		DRSEvery:        sim.Hour,
+		RecordVMMetrics: true,
+		ResizeRate:      0.03,
+	}
+}
+
+// Result carries everything an analysis needs after a run.
+type Result struct {
+	Config    Config
+	Region    *topology.Region
+	Fleet     *esx.Fleet
+	Store     *telemetry.Store
+	Scheduler *nova.Scheduler
+
+	// VMs is every VM instance that entered the system (placed or not).
+	VMs []*vmmodel.VM
+	// Lifetimes holds the planned lifetime per VM (the paper collected
+	// lifetimes retrospectively; we know them exactly).
+	Lifetimes []analysis.LifetimeRecord
+	// PlacementFailures counts NoValidHost outcomes.
+	PlacementFailures int
+	// DRSMigrations and CrossBBMoves count rebalancing activity.
+	DRSMigrations int
+	CrossBBMoves  int
+	// Resizes counts completed resize operations.
+	Resizes int
+	// Events is the scheduling-relevant event stream (Sec. 4).
+	Events *events.Log
+	// SchedStats snapshots the scheduler counters at the end.
+	SchedStats nova.Stats
+}
+
+// Horizon reports the simulated window.
+func (c Config) Horizon() sim.Time { return sim.Time(c.Days) * sim.Day }
+
+// Validate sanity-checks the configuration.
+func (c Config) Validate() error {
+	if c.Scale <= 0 {
+		return errors.New("core: non-positive scale")
+	}
+	if c.VMs <= 0 {
+		return errors.New("core: non-positive VM count")
+	}
+	if c.Days <= 0 {
+		return errors.New("core: non-positive days")
+	}
+	if c.SampleEvery <= 0 {
+		return errors.New("core: non-positive sample interval")
+	}
+	if c.RecordVMMetrics && c.VMSampleEvery <= 0 {
+		return errors.New("core: non-positive VM sample interval")
+	}
+	return nil
+}
+
+// Run executes the experiment.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	region, err := topology.Build(topology.DefaultBuildSpec(cfg.Scale))
+	if err != nil {
+		return nil, fmt.Errorf("core: building region: %w", err)
+	}
+	fleet := esx.NewFleet(region, cfg.ESX)
+	if cfg.HolisticNodeFit {
+		cfg.Scheduler.Filters = append(append([]nova.Filter{}, cfg.Scheduler.Filters...),
+			nova.NodeFitFilter{FitsNode: func(bb *topology.BuildingBlock, f *vmmodel.Flavor) bool {
+				for _, h := range fleet.HostsInBB(bb) {
+					if h.Fits(f) {
+						return true
+					}
+				}
+				return false
+			}})
+	}
+	sched, err := nova.NewScheduler(fleet, placement.NewService(), cfg.Scheduler)
+	if err != nil {
+		return nil, fmt.Errorf("core: scheduler: %w", err)
+	}
+	res := &Result{
+		Config:    cfg,
+		Region:    region,
+		Fleet:     fleet,
+		Store:     telemetry.NewStore(),
+		Scheduler: sched,
+		Events:    &events.Log{},
+	}
+
+	spec := workload.DefaultSpec(cfg.VMs, cfg.Seed)
+	spec.Horizon = cfg.Horizon()
+	instances := workload.NewGenerator(spec).Generate()
+
+	engine := sim.NewEngine()
+	live := make(map[vmmodel.ID]*vmmodel.VM)
+
+	// record appends an event; logging failures cannot occur because all
+	// appends happen in simulation-time order.
+	record := func(e events.Event) { _ = res.Events.Append(e) }
+
+	placeVM := func(in *workload.Instance, now sim.Time) {
+		res.VMs = append(res.VMs, in.VM)
+		res.Lifetimes = append(res.Lifetimes, analysis.LifetimeRecord{
+			Flavor: in.VM.Flavor, Lifetime: in.Lifetime,
+		})
+		// Events cover the observation window only; the initial
+		// population's creations predate it (in.ArriveAt <= 0).
+		inWindow := in.ArriveAt > 0
+		r, err := sched.Schedule(&nova.RequestSpec{VM: in.VM}, now)
+		if err != nil {
+			res.PlacementFailures++
+			if inWindow {
+				record(events.Event{At: now, Type: events.ScheduleFailed,
+					VM: string(in.VM.ID), Flavor: in.VM.Flavor.Name})
+			}
+			return
+		}
+		if inWindow {
+			record(events.Event{At: now, Type: events.Create,
+				VM: string(in.VM.ID), Flavor: in.VM.Flavor.Name, Target: string(r.Node.ID)})
+		}
+		live[in.VM.ID] = in.VM
+		if del := in.DeleteAt(); del < cfg.Horizon() {
+			in := in
+			engine.SchedulePriority(del, -1, func(at sim.Time) {
+				if _, ok := live[in.VM.ID]; !ok {
+					return
+				}
+				delete(live, in.VM.ID)
+				source := ""
+				if in.VM.Node != nil {
+					source = string(in.VM.Node.ID)
+				}
+				_ = sched.Delete(in.VM, at)
+				record(events.Event{At: at, Type: events.Delete,
+					VM: string(in.VM.ID), Flavor: in.VM.Flavor.Name, Source: source})
+			})
+		}
+	}
+
+	// Initial population: placed before the first sample. The paper's
+	// region is in steady state at the epoch.
+	for _, in := range instances {
+		if in.ArriveAt <= 0 {
+			placeVM(in, 0)
+		} else {
+			in := in
+			if _, err := engine.Schedule(in.ArriveAt, func(at sim.Time) {
+				placeVM(in, at)
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Host telemetry sampler.
+	sampler := newSampler(res, cfg)
+	if _, err := engine.Every(0, cfg.SampleEvery, sampler.sampleHosts); err != nil {
+		return nil, err
+	}
+	if cfg.RecordVMMetrics {
+		vmSampler := func(now sim.Time) { sampler.sampleVMs(now, live) }
+		if _, err := engine.Every(0, cfg.VMSampleEvery, vmSampler); err != nil {
+			return nil, err
+		}
+	}
+
+	// Rebalancers.
+	var rebalancer *drs.DRS
+	if cfg.DRS {
+		every := cfg.DRSEvery
+		if every <= 0 {
+			every = sim.Hour
+		}
+		rebalancer = drs.New(fleet, drs.DefaultConfig())
+		rebalancer.OnMigrate = func(vm *vmmodel.VM, from, to *topology.Node, now sim.Time) {
+			record(events.Event{At: now, Type: events.MigrateIntraBB,
+				VM: string(vm.ID), Flavor: vm.Flavor.Name,
+				Source: string(from.ID), Target: string(to.ID)})
+		}
+		if _, err := engine.Every(every, every, func(now sim.Time) {
+			rebalancer.RebalanceAll(now)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	var cross *drs.CrossBB
+	if cfg.CrossBB {
+		cross = drs.NewCrossBB(fleet, sched.MoveBB)
+		cross.OnMigrate = func(vm *vmmodel.VM, from, to *topology.Node, now sim.Time) {
+			record(events.Event{At: now, Type: events.MigrateCrossBB,
+				VM: string(vm.ID), Flavor: vm.Flavor.Name,
+				Source: string(from.ID), Target: string(to.ID)})
+		}
+		if _, err := engine.Every(sim.Day, sim.Day, func(now sim.Time) {
+			cross.Rebalance(now)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Resize churn: user-initiated flavor changes at the configured rate
+	// (resize is a scheduler-triggering event, Sec. 2.2).
+	if cfg.ResizeRate > 0 {
+		rng := rand.New(rand.NewPCG(cfg.Seed, 0x7e512e))
+		perDay := cfg.ResizeRate * float64(cfg.VMs) / 30
+		if _, err := engine.Every(12*sim.Hour, sim.Day, func(now sim.Time) {
+			n := int(perDay)
+			if rng.Float64() < perDay-float64(n) {
+				n++
+			}
+			for i := 0; i < n; i++ {
+				vm := pickLive(live, rng)
+				if vm == nil {
+					return
+				}
+				target := resizeTarget(vm.Flavor, rng)
+				if target == nil {
+					continue
+				}
+				if _, err := sched.Resize(vm, target, now); err != nil {
+					continue
+				}
+				res.Resizes++
+				record(events.Event{At: now, Type: events.Resize,
+					VM: string(vm.ID), Flavor: target.Name,
+					Target: string(vm.Node.ID)})
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := engine.Run(cfg.Horizon()); err != nil {
+		return nil, err
+	}
+
+	if rebalancer != nil {
+		res.DRSMigrations = rebalancer.Migrations()
+	}
+	if cross != nil {
+		res.CrossBBMoves = cross.Moves()
+	}
+	res.SchedStats = sched.Stats()
+	return res, nil
+}
+
+// pickLive selects a random live VM deterministically (sorted key order).
+func pickLive(live map[vmmodel.ID]*vmmodel.VM, rng *rand.Rand) *vmmodel.VM {
+	if len(live) == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(live))
+	for id := range live {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	return live[vmmodel.ID(ids[rng.IntN(len(ids))])]
+}
+
+// resizeTarget picks a different flavor of the same workload class — users
+// resize within their application family, HANA appliances within HANA
+// sizes.
+func resizeTarget(current *vmmodel.Flavor, rng *rand.Rand) *vmmodel.Flavor {
+	var candidates []*vmmodel.Flavor
+	for _, f := range vmmodel.Catalog() {
+		if f.Class == current.Class && f.Name != current.Name {
+			candidates = append(candidates, f)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[rng.IntN(len(candidates))]
+}
+
+// sampler writes telemetry into the result store.
+type sampler struct {
+	res *Result
+	cfg Config
+	// hostLabels caches label sets; label construction dominates
+	// otherwise.
+	hostLabels map[topology.NodeID]telemetry.Labels
+	vmLabels   map[vmmodel.ID]telemetry.Labels
+}
+
+func newSampler(res *Result, cfg Config) *sampler {
+	return &sampler{
+		res:        res,
+		cfg:        cfg,
+		hostLabels: make(map[topology.NodeID]telemetry.Labels),
+		vmLabels:   make(map[vmmodel.ID]telemetry.Labels),
+	}
+}
+
+func (s *sampler) labelsFor(h *esx.Host) telemetry.Labels {
+	if l, ok := s.hostLabels[h.Node.ID]; ok {
+		return l
+	}
+	l := telemetry.MustLabels(
+		"hostsystem", string(h.Node.ID),
+		"cluster", string(h.Node.BB.ID),
+		"datacenter", h.Node.Datacenter().Name,
+	)
+	s.hostLabels[h.Node.ID] = l
+	return l
+}
+
+func (s *sampler) sampleHosts(now sim.Time) {
+	interval := s.cfg.SampleEvery
+	store := s.res.Store
+	for _, h := range s.res.Fleet.Hosts() {
+		if h.Node.Maintenance {
+			continue
+		}
+		l := s.labelsFor(h)
+		m := h.Snapshot(now, interval)
+		app := func(metric string, v float64) {
+			// Out-of-order cannot occur: the ticker is strictly
+			// monotonic. Ignore the error to keep the hot path lean.
+			_ = store.Append(metric, l, now, v)
+		}
+		app(exporter.MetricHostCPUUtil, m.CPUUtilPct)
+		app(exporter.MetricHostMemUsage, m.MemUsagePct)
+		app(exporter.MetricHostNetTx, m.TxKbps)
+		app(exporter.MetricHostNetRx, m.RxKbps)
+		app(exporter.MetricHostDiskUsage, m.StorageUsedGB)
+		app(MetricHostDiskPct, m.StoragePct(h.Node.Capacity.StorageGB))
+		app(exporter.MetricHostCPUCont, m.CPUContentionPct)
+		app(exporter.MetricHostCPUReady, m.CPUReadyMillis)
+
+		if s.cfg.ContentionFeed {
+			s.res.Scheduler.SetContention(h.Node.BB.ID, m.CPUContentionPct)
+		}
+	}
+}
+
+func (s *sampler) sampleVMs(now sim.Time, live map[vmmodel.ID]*vmmodel.VM) {
+	store := s.res.Store
+	fleet := s.res.Fleet
+	// Snapshot host contention once per host for throttling.
+	contention := make(map[topology.NodeID]float64)
+	for _, h := range fleet.Hosts() {
+		m := h.Snapshot(now, s.cfg.VMSampleEvery)
+		contention[h.Node.ID] = m.CPUContentionPct
+	}
+	for _, vm := range live {
+		if vm.Node == nil {
+			continue
+		}
+		h, err := fleet.Host(vm.Node.ID)
+		if err != nil {
+			continue
+		}
+		l, ok := s.vmLabels[vm.ID]
+		if !ok {
+			l = telemetry.MustLabels(
+				"virtualmachine", string(vm.ID),
+				"flavor", vm.Flavor.Name,
+				"project", vm.Project,
+			)
+			s.vmLabels[vm.ID] = l
+		}
+		u := h.VMSnapshot(vm, now, s.cfg.VMSampleEvery, contention[vm.Node.ID])
+		_ = store.Append(exporter.MetricVMCPURatio, l, now, u.CPUUsageRatio)
+		_ = store.Append(exporter.MetricVMMemRatio, l, now, u.MemUsageRatio)
+	}
+	_ = store.Append(exporter.MetricInstancesTotal, telemetry.Labels{}, now, float64(len(live)))
+}

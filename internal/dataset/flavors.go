@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"sapsim/internal/vmmodel"
+)
+
+// The released dataset includes the flavor table so that consumers can map
+// the flavor labels in the telemetry back to resource shapes (a flavor is
+// "a predefined template of vCPUs, memory, and storage", Sec. 2.1).
+
+// WriteFlavors exports the flavor catalog as CSV.
+func WriteFlavors(w io.Writer, flavors []*vmmodel.Flavor) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "vcpus", "ram_gib", "disk_gb", "class", "pin_cpu", "gpu"}); err != nil {
+		return err
+	}
+	for _, f := range flavors {
+		rec := []string{
+			f.Name,
+			strconv.Itoa(f.VCPUs),
+			strconv.Itoa(f.RAMGiB),
+			strconv.Itoa(f.DiskGB),
+			f.Class.String(),
+			strconv.FormatBool(f.PinCPU),
+			strconv.FormatBool(f.RequireGPU),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadFlavors imports a flavor table written by WriteFlavors.
+func ReadFlavors(r io.Reader) ([]*vmmodel.Flavor, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 7
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading flavor header: %w", err)
+	}
+	if header[0] != "name" || header[1] != "vcpus" {
+		return nil, fmt.Errorf("dataset: unexpected flavor header %v", header)
+	}
+	var out []*vmmodel.Flavor
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: flavor line %d: %w", line, err)
+		}
+		line++
+		vcpus, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: flavor line %d: bad vcpus %q", line, rec[1])
+		}
+		ram, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: flavor line %d: bad ram %q", line, rec[2])
+		}
+		disk, err := strconv.Atoi(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: flavor line %d: bad disk %q", line, rec[3])
+		}
+		var class vmmodel.WorkloadClass
+		switch rec[4] {
+		case "general":
+			class = vmmodel.General
+		case "hana":
+			class = vmmodel.HANA
+		default:
+			return nil, fmt.Errorf("dataset: flavor line %d: unknown class %q", line, rec[4])
+		}
+		pin, err := strconv.ParseBool(rec[5])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: flavor line %d: bad pin_cpu %q", line, rec[5])
+		}
+		gpu, err := strconv.ParseBool(rec[6])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: flavor line %d: bad gpu %q", line, rec[6])
+		}
+		out = append(out, &vmmodel.Flavor{
+			Name: rec[0], VCPUs: vcpus, RAMGiB: ram, DiskGB: disk,
+			Class: class, PinCPU: pin, RequireGPU: gpu,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,70 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sapsim/internal/vmmodel"
+)
+
+func TestFlavorsRoundTrip(t *testing.T) {
+	orig := vmmodel.Catalog()
+	var buf bytes.Buffer
+	if err := WriteFlavors(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFlavors(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round trip: %d flavors vs %d", len(back), len(orig))
+	}
+	for i, f := range back {
+		o := orig[i]
+		if f.Name != o.Name || f.VCPUs != o.VCPUs || f.RAMGiB != o.RAMGiB ||
+			f.DiskGB != o.DiskGB || f.Class != o.Class {
+			t.Errorf("flavor %d differs: %+v vs %+v", i, f, o)
+		}
+	}
+}
+
+func TestFlavorsSpecialFields(t *testing.T) {
+	special := []*vmmodel.Flavor{
+		{Name: "PIN", VCPUs: 8, RAMGiB: 32, DiskGB: 100, PinCPU: true},
+		{Name: "GA", VCPUs: 16, RAMGiB: 128, DiskGB: 500, RequireGPU: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteFlavors(&buf, special); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFlavors(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back[0].PinCPU || back[1].PinCPU {
+		t.Error("pin_cpu not preserved")
+	}
+	if !back[1].RequireGPU || back[0].RequireGPU {
+		t.Error("gpu not preserved")
+	}
+}
+
+func TestReadFlavorsErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"x,y,z,w,v,u,t\n",
+		"name,vcpus,ram_gib,disk_gb,class,pin_cpu,gpu\nA,x,1,1,general,false,false\n",
+		"name,vcpus,ram_gib,disk_gb,class,pin_cpu,gpu\nA,1,x,1,general,false,false\n",
+		"name,vcpus,ram_gib,disk_gb,class,pin_cpu,gpu\nA,1,1,x,general,false,false\n",
+		"name,vcpus,ram_gib,disk_gb,class,pin_cpu,gpu\nA,1,1,1,party,false,false\n",
+		"name,vcpus,ram_gib,disk_gb,class,pin_cpu,gpu\nA,1,1,1,general,maybe,false\n",
+		"name,vcpus,ram_gib,disk_gb,class,pin_cpu,gpu\nA,1,1,1,general,false,maybe\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadFlavors(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package drs models the VMware Distributed Resource Scheduler: the second
+// scheduling layer that dynamically balances VM load *within* a vSphere
+// cluster (building block). The DRS "is configured to monitor the load of
+// the ESXi hosts and triggers automatic migrations of VMs from over-utilized
+// to less utilized hosts" (Sec. 3.1).
+//
+// Imbalance *across* building blocks is out of DRS scope and needs an
+// external rebalancer (also here, CrossBB), matching the paper's
+// observation that such imbalances "require manual intervention or external
+// rebalancers".
+package drs
+
+import (
+	"sort"
+
+	"sapsim/internal/esx"
+	"sapsim/internal/sim"
+	"sapsim/internal/topology"
+	"sapsim/internal/vmmodel"
+)
+
+// Config tunes the rebalancer.
+type Config struct {
+	// CPUImbalancePct triggers migration when the spread between the
+	// most and least CPU-utilized node of a BB exceeds this many
+	// percentage points.
+	CPUImbalancePct float64
+	// MemImbalancePct is the analogous memory trigger.
+	MemImbalancePct float64
+	// MaxMigrationsPerPass bounds migrations per BB per invocation;
+	// DRS is deliberately conservative because each migration costs
+	// performance (Sec. 3.2, "avoiding migration of heavy VMs").
+	MaxMigrationsPerPass int
+	// MaxVMMemGiB skips VMs above this size: migrating memory-heavy VMs
+	// moves large datasets and should be avoided (Sec. 3.2).
+	MaxVMMemGiB int
+}
+
+// DefaultConfig mirrors a moderately aggressive DRS posture.
+func DefaultConfig() Config {
+	return Config{
+		CPUImbalancePct:      20,
+		MemImbalancePct:      25,
+		MaxMigrationsPerPass: 2,
+		MaxVMMemGiB:          512,
+	}
+}
+
+// DRS rebalances building blocks of a fleet.
+type DRS struct {
+	fleet *esx.Fleet
+	cfg   Config
+
+	// OnMigrate, when set, observes every completed migration (the
+	// event stream of Sec. 4).
+	OnMigrate func(vm *vmmodel.VM, from, to *topology.Node, now sim.Time)
+
+	migrations int
+	passes     int
+}
+
+// New returns a DRS bound to the fleet.
+func New(fleet *esx.Fleet, cfg Config) *DRS {
+	if cfg.MaxMigrationsPerPass <= 0 {
+		cfg.MaxMigrationsPerPass = 2
+	}
+	if cfg.MaxVMMemGiB <= 0 {
+		cfg.MaxVMMemGiB = 512
+	}
+	return &DRS{fleet: fleet, cfg: cfg}
+}
+
+// Migrations reports the total migrations performed.
+func (d *DRS) Migrations() int { return d.migrations }
+
+// Passes reports how many rebalance passes ran.
+func (d *DRS) Passes() int { return d.passes }
+
+// nodeLoad captures one node's instantaneous load.
+type nodeLoad struct {
+	host *esx.Host
+	cpu  float64 // CPU demand as % of physical cores (can exceed 100)
+	mem  float64 // memory usage %
+}
+
+// loads snapshots the active nodes of the BB, sorted by ascending CPU load.
+func (d *DRS) loads(bb *topology.BuildingBlock, now sim.Time) []nodeLoad {
+	var out []nodeLoad
+	for _, h := range d.fleet.HostsInBB(bb) {
+		if h.Node.Maintenance {
+			continue
+		}
+		m := h.Snapshot(now, sim.Minute)
+		// Reconstruct raw demand: utilization is capped at 100, so add
+		// back the contention share to order saturated nodes correctly.
+		cpu := m.CPUUtilPct
+		if m.CPUContentionPct > 0 {
+			cpu = m.CPUUtilPct / (1 - m.CPUContentionPct/100)
+		}
+		out = append(out, nodeLoad{host: h, cpu: cpu, mem: m.MemUsagePct})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].cpu != out[j].cpu {
+			return out[i].cpu < out[j].cpu
+		}
+		return out[i].host.Node.ID < out[j].host.Node.ID
+	})
+	return out
+}
+
+// RebalanceBB runs one DRS pass over a building block and returns the
+// number of migrations performed.
+func (d *DRS) RebalanceBB(bb *topology.BuildingBlock, now sim.Time) int {
+	d.passes++
+	moved := 0
+	for moved < d.cfg.MaxMigrationsPerPass {
+		loads := d.loads(bb, now)
+		if len(loads) < 2 {
+			return moved
+		}
+		coldest, hottest := loads[0], loads[len(loads)-1]
+		cpuGap := hottest.cpu - coldest.cpu
+		memGap := hottest.mem - coldest.mem
+		if cpuGap < d.cfg.CPUImbalancePct && memGap < d.cfg.MemImbalancePct {
+			return moved
+		}
+		vm := d.pickVM(hottest.host, coldest.host, now)
+		if vm == nil {
+			return moved
+		}
+		from := hottest.host.Node
+		if err := d.fleet.Migrate(vm, coldest.host.Node, now); err != nil {
+			return moved
+		}
+		moved++
+		d.migrations++
+		if d.OnMigrate != nil {
+			d.OnMigrate(vm, from, coldest.host.Node, now)
+		}
+	}
+	return moved
+}
+
+// pickVM chooses the migration candidate: the VM with the highest CPU
+// demand that (a) fits the target, (b) is below the memory-weight cutoff,
+// and (c) would not immediately overload the target.
+func (d *DRS) pickVM(src, dst *esx.Host, now sim.Time) *vmmodel.VM {
+	dstSnap := dst.Snapshot(now, sim.Minute)
+	dstCores := float64(dst.Node.Capacity.PCPUCores)
+	var best *vmmodel.VM
+	bestDemand := -1.0
+	for _, vm := range src.VMs() {
+		if vm.Flavor.RAMGiB > d.cfg.MaxVMMemGiB {
+			continue
+		}
+		if !dst.Fits(vm.Flavor) {
+			continue
+		}
+		if vm.Profile == nil {
+			continue
+		}
+		demand := vm.Profile.CPUUsage(now) * float64(vm.RequestedCPUCores())
+		// Would the move overload the destination?
+		if dstSnap.CPUUtilPct+demand/dstCores*100 > 90 {
+			continue
+		}
+		if demand > bestDemand {
+			bestDemand = demand
+			best = vm
+		}
+	}
+	return best
+}
+
+// RebalanceAll runs one pass over every building block of the region.
+func (d *DRS) RebalanceAll(now sim.Time) int {
+	total := 0
+	for _, bb := range d.fleet.Region().BBs() {
+		total += d.RebalanceBB(bb, now)
+	}
+	return total
+}
+
+// CrossBB is the external rebalancer that moves VMs between building
+// blocks of the same kind within a data center. It needs a mover capable of
+// updating placement allocations (nova.Scheduler.MoveBB).
+type CrossBB struct {
+	fleet *esx.Fleet
+	move  func(vm *vmmodel.VM, to *topology.Node, now sim.Time) error
+	// OnMigrate observes completed cross-BB moves.
+	OnMigrate func(vm *vmmodel.VM, from, to *topology.Node, now sim.Time)
+	// TriggerPct is the allocation-imbalance trigger between the
+	// most and least memory-allocated BBs of the same kind.
+	TriggerPct float64
+	// MaxMovesPerPass bounds cross-BB migrations, which are costlier
+	// than intra-BB ones.
+	MaxMovesPerPass int
+
+	moves int
+}
+
+// NewCrossBB builds the external rebalancer.
+func NewCrossBB(fleet *esx.Fleet, move func(*vmmodel.VM, *topology.Node, sim.Time) error) *CrossBB {
+	return &CrossBB{fleet: fleet, move: move, TriggerPct: 25, MaxMovesPerPass: 2}
+}
+
+// Moves reports total cross-BB migrations.
+func (c *CrossBB) Moves() int { return c.moves }
+
+// Rebalance runs one pass per data center and BB kind.
+func (c *CrossBB) Rebalance(now sim.Time) int {
+	total := 0
+	for _, dc := range c.fleet.Region().Datacenters() {
+		byKind := map[topology.BBKind][]*topology.BuildingBlock{}
+		for _, bb := range dc.BBs {
+			if bb.Reserved {
+				continue // failover reserve stays empty
+			}
+			byKind[bb.Kind] = append(byKind[bb.Kind], bb)
+		}
+		for _, bbs := range byKind {
+			total += c.rebalanceGroup(bbs, now)
+		}
+	}
+	return total
+}
+
+// allocPct reports a BB's memory allocation percentage.
+func (c *CrossBB) allocPct(bb *topology.BuildingBlock) float64 {
+	a := c.fleet.BBAlloc(bb)
+	if a.MemCapMB == 0 {
+		return 0
+	}
+	return float64(a.MemAllocMB) / float64(a.MemCapMB) * 100
+}
+
+func (c *CrossBB) rebalanceGroup(bbs []*topology.BuildingBlock, now sim.Time) int {
+	if len(bbs) < 2 {
+		return 0
+	}
+	moved := 0
+	for moved < c.MaxMovesPerPass {
+		sort.Slice(bbs, func(i, j int) bool {
+			pi, pj := c.allocPct(bbs[i]), c.allocPct(bbs[j])
+			if pi != pj {
+				return pi < pj
+			}
+			return bbs[i].ID < bbs[j].ID
+		})
+		coldBB, hotBB := bbs[0], bbs[len(bbs)-1]
+		if c.allocPct(hotBB)-c.allocPct(coldBB) < c.TriggerPct {
+			return moved
+		}
+		vm, node := c.pickMove(hotBB, coldBB)
+		if vm == nil {
+			return moved
+		}
+		from := vm.Node
+		if err := c.move(vm, node, now); err != nil {
+			return moved
+		}
+		moved++
+		c.moves++
+		if c.OnMigrate != nil {
+			c.OnMigrate(vm, from, node, now)
+		}
+	}
+	return moved
+}
+
+// pickMove selects the largest movable VM on the hot BB and a fitting node
+// on the cold BB.
+func (c *CrossBB) pickMove(hot, cold *topology.BuildingBlock) (*vmmodel.VM, *topology.Node) {
+	var candidates []*vmmodel.VM
+	for _, h := range c.fleet.HostsInBB(hot) {
+		candidates = append(candidates, h.VMs()...)
+	}
+	// Prefer moving mid-sized VMs: large enough to matter, small enough
+	// to avoid heavy-migration costs.
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Flavor.RAMGiB != candidates[j].Flavor.RAMGiB {
+			return candidates[i].Flavor.RAMGiB > candidates[j].Flavor.RAMGiB
+		}
+		return candidates[i].ID < candidates[j].ID
+	})
+	for _, vm := range candidates {
+		if vm.Flavor.RAMGiB > 512 {
+			continue
+		}
+		for _, h := range c.fleet.HostsInBB(cold) {
+			if !h.Node.Maintenance && h.Fits(vm.Flavor) {
+				return vm, h.Node
+			}
+		}
+	}
+	return nil, nil
+}

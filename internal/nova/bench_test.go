@@ -1,0 +1,74 @@
+package nova
+
+import (
+	"fmt"
+	"testing"
+
+	"sapsim/internal/esx"
+	"sapsim/internal/placement"
+	"sapsim/internal/topology"
+	"sapsim/internal/vmmodel"
+)
+
+// BenchmarkSchedulePlacement measures placement throughput: the initial
+// population of the paper's region is ~48,000 VMs, so the scheduler's
+// filter/weigh/claim path must sustain tens of thousands of decisions.
+func BenchmarkSchedulePlacement(b *testing.B) {
+	r := topology.NewRegion("bench")
+	dc := r.AddAZ("az").AddDC("dc")
+	gen := topology.Capacity{PCPUCores: 96, MemoryMB: 1 << 20, StorageGB: 8 << 10, NetworkGbps: 200}
+	for i := 0; i < 20; i++ {
+		if _, err := dc.AddBB(topology.BBID(fmt.Sprintf("bb-%02d", i)), topology.GeneralPurpose, 14, gen); err != nil {
+			b.Fatal(err)
+		}
+	}
+	fleet := esx.NewFleet(r, esx.DefaultConfig())
+	sched, err := NewScheduler(fleet, placement.NewService(), DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	flavor := vmmodel.CatalogByName()["MK"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm := &vmmodel.VM{ID: vmmodel.ID(fmt.Sprintf("vm-%d", i)), Flavor: flavor}
+		if _, err := sched.Schedule(&RequestSpec{VM: vm}, 0); err != nil {
+			// Fleet full: recycle by deleting this VM's predecessors.
+			b.StopTimer()
+			for _, h := range fleet.Hosts() {
+				for _, v := range h.VMs() {
+					_ = sched.Delete(v, 0)
+				}
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkRankWeighers measures the weighing pipeline over a large host
+// list.
+func BenchmarkRankWeighers(b *testing.B) {
+	r := topology.NewRegion("bench")
+	dc := r.AddAZ("az").AddDC("dc")
+	gen := topology.Capacity{PCPUCores: 96, MemoryMB: 1 << 20, StorageGB: 8 << 10, NetworkGbps: 200}
+	var hosts []*HostState
+	for i := 0; i < 128; i++ {
+		bb, err := dc.AddBB(topology.BBID(fmt.Sprintf("bb-%03d", i)), topology.GeneralPurpose, 2, gen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hosts = append(hosts, &HostState{
+			BB: bb,
+			Alloc: esx.BBAllocation{
+				VCPUCap: 768, VCPUAlloc: i * 3,
+				MemCapMB: 2 << 20, MemAllocMB: int64(i) << 12,
+				ActiveNodes: 2,
+			},
+		})
+	}
+	req := &RequestSpec{VM: &vmmodel.VM{ID: "x", Flavor: vmmodel.CatalogByName()["MC"]}}
+	weighers := DefaultWeighers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rank(req, hosts, weighers)
+	}
+}

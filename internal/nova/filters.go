@@ -1,0 +1,121 @@
+package nova
+
+import (
+	"sapsim/internal/topology"
+	"sapsim/internal/vmmodel"
+)
+
+// Filter eliminates hosts that cannot serve a request (Fig. 3, first
+// stage). Filters mirror their OpenStack namesakes.
+type Filter interface {
+	Name() string
+	Pass(req *RequestSpec, h *HostState) bool
+}
+
+// ComputeFilter removes disabled hosts — building blocks with no active
+// nodes (all in maintenance).
+type ComputeFilter struct{}
+
+// Name implements Filter.
+func (ComputeFilter) Name() string { return "ComputeFilter" }
+
+// Pass implements Filter.
+func (ComputeFilter) Pass(_ *RequestSpec, h *HostState) bool {
+	return h.Alloc.ActiveNodes > 0
+}
+
+// AvailabilityZoneFilter keeps hosts in the requested AZ.
+type AvailabilityZoneFilter struct{}
+
+// Name implements Filter.
+func (AvailabilityZoneFilter) Name() string { return "AvailabilityZoneFilter" }
+
+// Pass implements Filter.
+func (AvailabilityZoneFilter) Pass(req *RequestSpec, h *HostState) bool {
+	if req.AZ == "" {
+		return true
+	}
+	return h.BB.DC.AZ.Name == req.AZ
+}
+
+// CoreFilter removes hosts with insufficient unallocated vCPU capacity
+// (overcommit-adjusted), the CPU half of OpenStack's ComputeCapabilities /
+// CoreFilter behavior.
+type CoreFilter struct{}
+
+// Name implements Filter.
+func (CoreFilter) Name() string { return "CoreFilter" }
+
+// Pass implements Filter.
+func (CoreFilter) Pass(req *RequestSpec, h *HostState) bool {
+	return h.FreeVCPUs() >= req.Flavor().VCPUs
+}
+
+// RamFilter removes hosts with insufficient unallocated memory.
+type RamFilter struct{}
+
+// Name implements Filter.
+func (RamFilter) Name() string { return "RamFilter" }
+
+// Pass implements Filter.
+func (RamFilter) Pass(req *RequestSpec, h *HostState) bool {
+	return h.FreeMemMB() >= req.VM.RequestedMemoryMB()
+}
+
+// AggregateInstanceExtraSpecsFilter enforces the special-purpose building
+// block segregation: HANA flavors on HANA blocks, GPU flavors on GPU
+// blocks, everything else on general-purpose blocks (Sec. 3.1).
+type AggregateInstanceExtraSpecsFilter struct{}
+
+// Name implements Filter.
+func (AggregateInstanceExtraSpecsFilter) Name() string {
+	return "AggregateInstanceExtraSpecsFilter"
+}
+
+// Pass implements Filter.
+func (AggregateInstanceExtraSpecsFilter) Pass(req *RequestSpec, h *HostState) bool {
+	f := req.Flavor()
+	switch h.BB.Kind {
+	case topology.HANA:
+		return f.Class == vmmodel.HANA
+	case topology.GPU:
+		return f.RequireGPU
+	default:
+		return f.Class != vmmodel.HANA && !f.RequireGPU
+	}
+}
+
+// NodeFitFilter removes building blocks where no *single node* can host
+// the flavor, even though aggregate BB capacity suffices. Vanilla Nova
+// lacks this check — the fragmentation gap the paper calls out (Sec. 7,
+// "holistic scheduling") — so the filter is optional and enabled in the
+// holistic ablation.
+type NodeFitFilter struct {
+	// FitsNode reports whether some node of the building block can admit
+	// the flavor; wired to esx.Fleet by the scheduler constructor.
+	FitsNode func(bb *topology.BuildingBlock, f *vmmodel.Flavor) bool
+}
+
+// Name implements Filter.
+func (NodeFitFilter) Name() string { return "NodeFitFilter" }
+
+// Pass implements Filter.
+func (nf NodeFitFilter) Pass(req *RequestSpec, h *HostState) bool {
+	if nf.FitsNode == nil {
+		return true
+	}
+	return nf.FitsNode(h.BB, req.Flavor())
+}
+
+// DefaultFilters is the SAP production pipeline (Sec. 3.2): compute status,
+// AZ, CPU, RAM, aggregate segregation, and server-group policies.
+func DefaultFilters() []Filter {
+	return []Filter{
+		ComputeFilter{},
+		AvailabilityZoneFilter{},
+		CoreFilter{},
+		RamFilter{},
+		AggregateInstanceExtraSpecsFilter{},
+		ServerGroupFilter{},
+	}
+}

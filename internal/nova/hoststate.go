@@ -1,0 +1,96 @@
+// Package nova models the OpenStack Nova scheduler: the filter and weigher
+// pipeline that performs *initial placement* of VMs onto compute hosts
+// (Figs. 2 and 3). As in the SAP deployment, a "compute host" is an entire
+// vSphere cluster (building block); node selection inside the cluster is a
+// second, independent layer (Sec. 3.1) — the architecture whose
+// fragmentation effects the paper quantifies.
+package nova
+
+import (
+	"fmt"
+
+	"sapsim/internal/esx"
+	"sapsim/internal/topology"
+	"sapsim/internal/vmmodel"
+)
+
+// HostState is the scheduler's cached view of one compute host (building
+// block), assembled from the placement inventory and recent telemetry.
+type HostState struct {
+	BB    *topology.BuildingBlock
+	Alloc esx.BBAllocation
+	// AvgContentionPct is the building block's recent mean CPU
+	// contention; vanilla Nova ignores it, the contention-aware weigher
+	// (Sec. 7 guidance) consumes it.
+	AvgContentionPct float64
+}
+
+// FreeVCPUs reports unallocated vCPU capacity.
+func (h *HostState) FreeVCPUs() int { return h.Alloc.VCPUCap - h.Alloc.VCPUAlloc }
+
+// FreeMemMB reports unallocated memory capacity.
+func (h *HostState) FreeMemMB() int64 { return h.Alloc.MemCapMB - h.Alloc.MemAllocMB }
+
+// RequestSpec carries one placement request through the pipeline.
+type RequestSpec struct {
+	VM *vmmodel.VM
+	// AZ restricts placement to one availability zone ("" = any).
+	AZ string
+	// Group applies a server-group policy (affinity/anti-affinity);
+	// membership is maintained by the scheduler.
+	Group *ServerGroup
+}
+
+// Flavor is shorthand for the requested flavor.
+func (r *RequestSpec) Flavor() *vmmodel.Flavor { return r.VM.Flavor }
+
+// Traits derives the placement traits of the request: HANA flavors must
+// land on HANA building blocks, GPU flavors on GPU blocks, and
+// general-purpose flavors on neither (Sec. 3.1: special-purpose BBs "do not
+// accommodate other VMs"). Reserved failover capacity is excluded for
+// every request.
+func (r *RequestSpec) Traits() (required, forbidden []string) {
+	f := r.Flavor()
+	switch {
+	case f.RequireGPU:
+		return []string{TraitGPU}, []string{TraitReserved}
+	case f.Class == vmmodel.HANA:
+		return []string{TraitHANA}, []string{TraitReserved}
+	default:
+		return nil, []string{TraitHANA, TraitGPU, TraitReserved}
+	}
+}
+
+// Placement traits.
+const (
+	TraitHANA     = "HANA"
+	TraitGPU      = "GPU"
+	TraitReserved = "RESERVED"
+)
+
+// TraitsOfBB maps a building block to its advertised traits.
+func TraitsOfBB(bb *topology.BuildingBlock) []string {
+	var traits []string
+	switch bb.Kind {
+	case topology.HANA:
+		traits = append(traits, TraitHANA)
+	case topology.GPU:
+		traits = append(traits, TraitGPU)
+	}
+	if bb.Reserved {
+		traits = append(traits, TraitReserved)
+	}
+	return traits
+}
+
+// NoValidHostError is Nova's terminal scheduling failure: every host was
+// filtered out or every claim attempt failed.
+type NoValidHostError struct {
+	VM      vmmodel.ID
+	Reasons map[string]int // filter name → hosts eliminated
+}
+
+// Error implements error.
+func (e *NoValidHostError) Error() string {
+	return fmt.Sprintf("nova: no valid host for %s (eliminations: %v)", e.VM, e.Reasons)
+}

@@ -1,0 +1,134 @@
+package nova
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"sapsim/internal/esx"
+	"sapsim/internal/placement"
+	"sapsim/internal/sim"
+	"sapsim/internal/vmmodel"
+)
+
+// Property: across random schedule/delete/resize sequences, the scheduler
+// never violates admission limits, never double-books placement, and
+// keeps hypervisor and placement accounting in agreement.
+func TestPropertySchedulerInvariants(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewPCG(uint64(trial), 77))
+		fleet, sched := testEnv(t, DefaultConfig())
+		pl := schedPlacement(sched)
+		catalog := vmmodel.Catalog()
+		var live []*vmmodel.VM
+		now := sim.Time(0)
+
+		for step := 0; step < 300; step++ {
+			now += sim.Minute
+			switch op := rng.IntN(10); {
+			case op < 6: // schedule
+				f := catalog[rng.IntN(len(catalog))]
+				vm := &vmmodel.VM{
+					ID:      vmmodel.ID(fmt.Sprintf("t%d-vm%d", trial, step)),
+					Flavor:  f,
+					Profile: constProfile{cpu: 0.2, mem: 0.5},
+				}
+				if _, err := sched.Schedule(&RequestSpec{VM: vm}, now); err == nil {
+					live = append(live, vm)
+				}
+			case op < 8 && len(live) > 0: // delete
+				i := rng.IntN(len(live))
+				if err := sched.Delete(live[i], now); err != nil {
+					t.Fatalf("trial %d step %d: delete: %v", trial, step, err)
+				}
+				live = append(live[:i], live[i+1:]...)
+			case len(live) > 0: // resize
+				i := rng.IntN(len(live))
+				target := catalog[rng.IntN(len(catalog))]
+				if target.Class != live[i].Flavor.Class {
+					continue
+				}
+				_, _ = sched.Resize(live[i], target, now)
+			}
+		}
+
+		// Invariant 1: per-host allocation counters match residents and
+		// respect capacity.
+		for _, h := range fleet.Hosts() {
+			cpu, mem := 0, int64(0)
+			for _, vm := range h.VMs() {
+				if !vm.Flavor.PinCPU {
+					cpu += vm.RequestedCPUCores()
+				}
+				mem += vm.RequestedMemoryMB()
+			}
+			if h.AllocatedVCPUs() != cpu || h.AllocatedMemMB() != mem {
+				t.Fatalf("trial %d: host %s counters drifted", trial, h.Node.ID)
+			}
+			if h.AllocatedVCPUs() > h.VCPUCapacity() {
+				t.Fatalf("trial %d: host %s vCPU over capacity", trial, h.Node.ID)
+			}
+			if h.AllocatedMemMB() > h.MemCapacityMB() {
+				t.Fatalf("trial %d: host %s memory over capacity", trial, h.Node.ID)
+			}
+		}
+
+		// Invariant 2: every live VM has a placement allocation on the
+		// BB that hosts it, and no allocations leak.
+		allocated := 0
+		for _, vm := range live {
+			if vm.Node == nil {
+				t.Fatalf("trial %d: live VM %s unplaced", trial, vm.ID)
+			}
+			alloc := pl.AllocationOf(string(vm.ID))
+			if alloc == nil {
+				t.Fatalf("trial %d: live VM %s has no placement allocation", trial, vm.ID)
+			}
+			if alloc.Provider != string(vm.Node.BB.ID) {
+				t.Fatalf("trial %d: VM %s placement points at %s, hosted on %s",
+					trial, vm.ID, alloc.Provider, vm.Node.BB.ID)
+			}
+			allocated++
+		}
+		if pl.AllocationCount() != allocated {
+			t.Fatalf("trial %d: placement has %d allocations, %d live VMs",
+				trial, pl.AllocationCount(), allocated)
+		}
+	}
+}
+
+// schedPlacement exposes the scheduler's placement service for invariant
+// checks.
+func schedPlacement(s *Scheduler) *placement.Service { return s.placement }
+
+// Property: scheduling is deterministic — the same request sequence on the
+// same environment yields identical placements.
+func TestPropertySchedulerDeterministic(t *testing.T) {
+	run := func() []string {
+		_, sched := testEnv(t, DefaultConfig())
+		var out []string
+		for i := 0; i < 60; i++ {
+			flavor := vmmodel.Catalog()[i%len(vmmodel.Catalog())]
+			vm := &vmmodel.VM{
+				ID:      vmmodel.ID(fmt.Sprintf("vm-%03d", i)),
+				Flavor:  flavor,
+				Profile: constProfile{cpu: 0.3, mem: 0.6},
+			}
+			res, err := sched.Schedule(&RequestSpec{VM: vm}, sim.Time(i)*sim.Minute)
+			if err != nil {
+				out = append(out, "FAIL")
+				continue
+			}
+			out = append(out, string(res.Node.ID))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("placement %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+var _ = esx.DefaultConfig // keep the import pinned for the helper types

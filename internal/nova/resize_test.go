@@ -1,0 +1,113 @@
+package nova
+
+import (
+	"testing"
+
+	"sapsim/internal/sim"
+	"sapsim/internal/vmmodel"
+)
+
+func TestResizeInPlace(t *testing.T) {
+	fleet, sched := testEnv(t, DefaultConfig())
+	vm := mkVM("vm-1", "MK") // 2 vCPU / 16 GiB
+	if _, err := sched.Schedule(&RequestSpec{VM: vm}, 0); err != nil {
+		t.Fatal(err)
+	}
+	oldNode := vm.Node
+	res, err := sched.Resize(vm, vmmodel.CatalogByName()["MC"], sim.Hour) // 8 vCPU / 64 GiB
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Flavor.Name != "MC" {
+		t.Errorf("flavor = %s", vm.Flavor.Name)
+	}
+	if vm.State != vmmodel.Active {
+		t.Errorf("state = %v", vm.State)
+	}
+	// The host had room: the spread weigher may still pick another node,
+	// but allocation must be consistent either way.
+	h, _ := fleet.Host(res.Node.ID)
+	found := false
+	for _, v := range h.VMs() {
+		if v.ID == vm.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("VM not resident on its scheduled node after resize")
+	}
+	if oldNode != res.Node {
+		old, _ := fleet.Host(oldNode.ID)
+		for _, v := range old.VMs() {
+			if v.ID == vm.ID {
+				t.Error("VM still resident on old node")
+			}
+		}
+	}
+}
+
+func TestResizeAccountingConsistent(t *testing.T) {
+	fleet, sched := testEnv(t, DefaultConfig())
+	vm := mkVM("vm-1", "MK")
+	if _, err := sched.Schedule(&RequestSpec{VM: vm}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.Resize(vm, vmmodel.CatalogByName()["MJ"], sim.Hour); err != nil {
+		t.Fatal(err)
+	}
+	// Fleet-wide allocation must equal the single VM's new footprint.
+	totalVCPU := 0
+	for _, h := range fleet.Hosts() {
+		totalVCPU += h.AllocatedVCPUs()
+	}
+	if totalVCPU != 16 {
+		t.Errorf("fleet vCPU allocation = %d, want 16 (MJ)", totalVCPU)
+	}
+	// Placement allocation must match too: re-scheduling a same-ID VM
+	// would fail if the old claim leaked.
+	if err := sched.Delete(vm, 2*sim.Hour); err != nil {
+		t.Fatal(err)
+	}
+	vm2 := mkVM("vm-1", "MK")
+	if _, err := sched.Schedule(&RequestSpec{VM: vm2}, 3*sim.Hour); err != nil {
+		t.Fatalf("claim leaked through resize: %v", err)
+	}
+}
+
+func TestResizeImpossibleRollsBack(t *testing.T) {
+	fleet, sched := testEnv(t, DefaultConfig())
+	vm := mkVM("vm-1", "XLB") // HANA, 192 GiB
+	if _, err := sched.Schedule(&RequestSpec{VM: vm}, 0); err != nil {
+		t.Fatal(err)
+	}
+	node := vm.Node
+	// XLL (12 TiB) cannot fit any node in this environment.
+	if _, err := sched.Resize(vm, vmmodel.CatalogByName()["XLL"], sim.Hour); err == nil {
+		t.Fatal("impossible resize succeeded")
+	}
+	if vm.Flavor.Name != "XLB" {
+		t.Errorf("flavor after rollback = %s, want XLB", vm.Flavor.Name)
+	}
+	if vm.Node != node || vm.State != vmmodel.Active {
+		t.Errorf("VM not restored: node=%v state=%v", vm.Node, vm.State)
+	}
+	h, _ := fleet.Host(node.ID)
+	if h.AllocatedVCPUs() != 24 {
+		t.Errorf("host allocation after rollback = %d, want 24", h.AllocatedVCPUs())
+	}
+}
+
+func TestResizeUnplacedRejected(t *testing.T) {
+	_, sched := testEnv(t, DefaultConfig())
+	vm := mkVM("vm-x", "MK")
+	if _, err := sched.Resize(vm, vmmodel.CatalogByName()["MC"], 0); err == nil {
+		t.Error("resize of unplaced VM succeeded")
+	}
+	placed := mkVM("vm-y", "MK")
+	if _, err := sched.Schedule(&RequestSpec{VM: placed}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.Resize(placed, nil, 0); err == nil {
+		t.Error("nil flavor accepted")
+	}
+}

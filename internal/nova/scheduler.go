@@ -1,0 +1,317 @@
+package nova
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sapsim/internal/esx"
+	"sapsim/internal/placement"
+	"sapsim/internal/sim"
+	"sapsim/internal/topology"
+	"sapsim/internal/vmmodel"
+)
+
+// NodePolicy selects the node inside a chosen building block. In
+// production this is vCenter/DRS territory (the second scheduling layer,
+// Sec. 3.1); the simulator models the common initial-placement policies.
+type NodePolicy int
+
+const (
+	// SpreadNodes picks the active node with the most free memory.
+	SpreadNodes NodePolicy = iota
+	// PackNodes picks the fullest active node that still fits (memory
+	// bin-packing, used for HANA blocks).
+	PackNodes
+)
+
+// Config assembles a scheduler.
+type Config struct {
+	Filters  []Filter
+	Weighers []Weigher
+	// MaxAttempts bounds the claim-retry loop (Nova's
+	// scheduler_max_attempts); the greedy retry behavior is described in
+	// Sec. 2.2.
+	MaxAttempts int
+	// GeneralNodePolicy and HANANodePolicy pick nodes within the chosen
+	// BB per workload class.
+	GeneralNodePolicy NodePolicy
+	HANANodePolicy    NodePolicy
+}
+
+// DefaultConfig is the SAP production configuration: default filters,
+// RAM/CPU weighers with HANA packing, spread nodes for general workloads,
+// pack nodes for HANA.
+func DefaultConfig() Config {
+	return Config{
+		Filters:           DefaultFilters(),
+		Weighers:          DefaultWeighers(),
+		MaxAttempts:       3,
+		GeneralNodePolicy: SpreadNodes,
+		HANANodePolicy:    PackNodes,
+	}
+}
+
+// Scheduler is the Nova scheduler plus conductor glue: it turns a request
+// spec into a concrete (building block, node) assignment, claiming
+// resources in placement and admitting the VM on the hypervisor.
+type Scheduler struct {
+	cfg       Config
+	fleet     *esx.Fleet
+	placement *placement.Service
+
+	// groups tracks server-group membership per VM so deletions release
+	// the policy hold.
+	groups map[vmmodel.ID]*ServerGroup
+
+	// stats
+	scheduled  int
+	failed     int
+	retries    int
+	eliminated map[string]int
+	contention map[topology.BBID]float64 // fed by telemetry for the contention weigher
+}
+
+// NewScheduler wires a scheduler to a fleet and placement service, creating
+// one resource provider per building block.
+func NewScheduler(fleet *esx.Fleet, pl *placement.Service, cfg Config) (*Scheduler, error) {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	s := &Scheduler{
+		cfg:        cfg,
+		fleet:      fleet,
+		placement:  pl,
+		groups:     make(map[vmmodel.ID]*ServerGroup),
+		eliminated: make(map[string]int),
+		contention: make(map[topology.BBID]float64),
+	}
+	for _, bb := range fleet.Region().BBs() {
+		alloc := fleet.BBAlloc(bb)
+		inv := map[placement.ResourceClass]placement.Inventory{
+			placement.VCPU:     {Total: int64(alloc.VCPUCap), AllocationRatio: 1},
+			placement.MemoryMB: {Total: alloc.MemCapMB, AllocationRatio: 1},
+		}
+		if _, err := pl.CreateProvider(string(bb.ID), inv, TraitsOfBB(bb)...); err != nil {
+			return nil, fmt.Errorf("nova: provider for %s: %w", bb.ID, err)
+		}
+	}
+	return s, nil
+}
+
+// SetContention feeds recent per-BB contention telemetry to the
+// contention-aware weigher.
+func (s *Scheduler) SetContention(bb topology.BBID, pct float64) {
+	s.contention[bb] = pct
+}
+
+// Stats summarizes scheduler activity.
+type Stats struct {
+	Scheduled  int
+	Failed     int
+	Retries    int
+	Eliminated map[string]int
+}
+
+// Stats returns a copy of the scheduler's counters.
+func (s *Scheduler) Stats() Stats {
+	el := make(map[string]int, len(s.eliminated))
+	for k, v := range s.eliminated {
+		el[k] = v
+	}
+	return Stats{Scheduled: s.scheduled, Failed: s.failed, Retries: s.retries, Eliminated: el}
+}
+
+// Result describes a successful placement.
+type Result struct {
+	BB       *topology.BuildingBlock
+	Node     *topology.Node
+	Attempts int
+}
+
+// Schedule places the VM: candidate query → filters → weighers → claim →
+// node selection → hypervisor admission. It retries down the ranked list,
+// reproducing Nova's greedy retry behavior (Sec. 2.2).
+func (s *Scheduler) Schedule(req *RequestSpec, now sim.Time) (*Result, error) {
+	f := req.Flavor()
+	ask := placement.Request{
+		placement.VCPU:     int64(f.VCPUs),
+		placement.MemoryMB: req.VM.RequestedMemoryMB(),
+	}
+	required, forbidden := req.Traits()
+	names, err := s.placement.Candidates(ask, required, forbidden)
+	if err != nil {
+		return nil, fmt.Errorf("nova: candidates: %w", err)
+	}
+
+	// Build host states from the fleet's live allocation view.
+	reasons := make(map[string]int)
+	var hosts []*HostState
+	for _, name := range names {
+		bb, err := s.fleet.Region().BB(topology.BBID(name))
+		if err != nil {
+			return nil, err
+		}
+		h := &HostState{BB: bb, Alloc: s.fleet.BBAlloc(bb), AvgContentionPct: s.contention[bb.ID]}
+		if passed := s.applyFilters(req, h, reasons); passed {
+			hosts = append(hosts, h)
+		}
+	}
+	if len(hosts) == 0 {
+		s.failed++
+		return nil, &NoValidHostError{VM: req.VM.ID, Reasons: reasons}
+	}
+
+	ranked := rank(req, hosts, s.cfg.Weighers)
+	attempts := 0
+	for _, h := range ranked {
+		if attempts >= s.cfg.MaxAttempts {
+			break
+		}
+		attempts++
+		node := s.selectNode(h.BB, f)
+		if node == nil {
+			// Aggregate capacity exists but no single node fits: the
+			// fragmentation case. Retry the next host.
+			s.retries++
+			reasons["NodeFragmentation"]++
+			continue
+		}
+		if err := s.placement.Claim(string(req.VM.ID), string(h.BB.ID), ask); err != nil {
+			s.retries++
+			reasons["ClaimConflict"]++
+			continue
+		}
+		if err := s.fleet.Place(req.VM, node, now); err != nil {
+			// Roll back the claim and retry elsewhere.
+			_ = s.placement.Release(string(req.VM.ID))
+			s.retries++
+			reasons["AdmissionFailed"]++
+			continue
+		}
+		s.scheduled++
+		if req.Group != nil {
+			req.Group.record(req.VM.ID, h.BB.ID)
+			s.groups[req.VM.ID] = req.Group
+		}
+		return &Result{BB: h.BB, Node: node, Attempts: attempts}, nil
+	}
+	s.failed++
+	return nil, &NoValidHostError{VM: req.VM.ID, Reasons: reasons}
+}
+
+func (s *Scheduler) applyFilters(req *RequestSpec, h *HostState, reasons map[string]int) bool {
+	for _, f := range s.cfg.Filters {
+		if !f.Pass(req, h) {
+			reasons[f.Name()]++
+			s.eliminated[f.Name()]++
+			return false
+		}
+	}
+	return true
+}
+
+// selectNode picks a node within the building block per the class policy,
+// or nil when no node fits.
+func (s *Scheduler) selectNode(bb *topology.BuildingBlock, f *vmmodel.Flavor) *topology.Node {
+	policy := s.cfg.GeneralNodePolicy
+	if f.Class == vmmodel.HANA {
+		policy = s.cfg.HANANodePolicy
+	}
+	hosts := s.fleet.HostsInBB(bb)
+	var fitting []*esx.Host
+	for _, h := range hosts {
+		if h.Fits(f) {
+			fitting = append(fitting, h)
+		}
+	}
+	if len(fitting) == 0 {
+		return nil
+	}
+	sort.Slice(fitting, func(i, j int) bool {
+		a, b := fitting[i], fitting[j]
+		switch policy {
+		case PackNodes:
+			if a.FreeMemMB() != b.FreeMemMB() {
+				return a.FreeMemMB() < b.FreeMemMB()
+			}
+		default: // SpreadNodes
+			if a.FreeMemMB() != b.FreeMemMB() {
+				return a.FreeMemMB() > b.FreeMemMB()
+			}
+		}
+		return a.Node.ID < b.Node.ID
+	})
+	return fitting[0].Node
+}
+
+// Delete releases a VM: hypervisor eviction plus placement release plus
+// server-group membership.
+func (s *Scheduler) Delete(vm *vmmodel.VM, now sim.Time) error {
+	if err := s.fleet.Remove(vm, now); err != nil {
+		return err
+	}
+	if g, ok := s.groups[vm.ID]; ok {
+		g.forget(vm.ID)
+		delete(s.groups, vm.ID)
+	}
+	if err := s.placement.Release(string(vm.ID)); err != nil &&
+		!errors.Is(err, placement.ErrUnknownConsumer) {
+		return err
+	}
+	return nil
+}
+
+// Resize changes a VM's flavor, re-running placement with the new resource
+// ask (a resize is one of the scheduler-triggering events of Sec. 2.2). The
+// VM keeps running on its node when the node can absorb the delta;
+// otherwise it is rescheduled like a fresh request. On failure the VM is
+// restored to its original node and flavor.
+func (s *Scheduler) Resize(vm *vmmodel.VM, newFlavor *vmmodel.Flavor, now sim.Time) (*Result, error) {
+	if newFlavor == nil {
+		return nil, errors.New("nova: nil flavor")
+	}
+	oldFlavor := vm.Flavor
+	oldNode := vm.Node
+	if oldNode == nil {
+		return nil, fmt.Errorf("nova: resize of unplaced VM %s", vm.ID)
+	}
+	// Free the current footprint.
+	if err := s.fleet.Evict(vm); err != nil {
+		return nil, err
+	}
+	if err := s.placement.Release(string(vm.ID)); err != nil &&
+		!errors.Is(err, placement.ErrUnknownConsumer) {
+		return nil, err
+	}
+	vm.Flavor = newFlavor
+	res, err := s.Schedule(&RequestSpec{VM: vm}, now)
+	if err == nil {
+		return res, nil
+	}
+	// Roll back: old flavor, old node, old claim.
+	vm.Flavor = oldFlavor
+	ask := placement.Request{
+		placement.VCPU:     int64(oldFlavor.VCPUs),
+		placement.MemoryMB: vm.RequestedMemoryMB(),
+	}
+	if cerr := s.placement.Claim(string(vm.ID), string(oldNode.BB.ID), ask); cerr != nil {
+		return nil, fmt.Errorf("nova: resize rollback claim: %w (after %w)", cerr, err)
+	}
+	if perr := s.fleet.Place(vm, oldNode, now); perr != nil {
+		return nil, fmt.Errorf("nova: resize rollback place: %w (after %w)", perr, err)
+	}
+	return nil, err
+}
+
+// MoveBB migrates a VM to a node in a different building block, updating
+// the placement allocation (cross-BB rebalancing requires "manual
+// intervention or external rebalancers", Sec. 3.1).
+func (s *Scheduler) MoveBB(vm *vmmodel.VM, to *topology.Node, now sim.Time) error {
+	if vm.Node != nil && vm.Node.BB != to.BB {
+		if err := s.placement.Move(string(vm.ID), string(to.BB.ID)); err != nil {
+			return err
+		}
+	}
+	return s.fleet.Migrate(vm, to, now)
+}

@@ -1,0 +1,102 @@
+package nova
+
+import (
+	"fmt"
+
+	"sapsim/internal/topology"
+	"sapsim/internal/vmmodel"
+)
+
+// GroupPolicy is an OpenStack server-group placement policy.
+type GroupPolicy int
+
+const (
+	// Affinity keeps group members on the same compute host (building
+	// block) — co-location for chatty application tiers.
+	Affinity GroupPolicy = iota
+	// AntiAffinity spreads members across distinct compute hosts — the
+	// HA pattern for SAP application-server pairs and HANA replicas
+	// (the paper's workloads have "stringent ... availability
+	// requirements", Sec. 3.1).
+	AntiAffinity
+)
+
+// String implements fmt.Stringer.
+func (p GroupPolicy) String() string {
+	switch p {
+	case Affinity:
+		return "affinity"
+	case AntiAffinity:
+		return "anti-affinity"
+	default:
+		return fmt.Sprintf("GroupPolicy(%d)", int(p))
+	}
+}
+
+// ServerGroup tracks the placement of its members. The scheduler updates
+// membership on placement and deletion.
+type ServerGroup struct {
+	Name    string
+	Policy  GroupPolicy
+	members map[vmmodel.ID]topology.BBID
+}
+
+// NewServerGroup creates an empty group.
+func NewServerGroup(name string, policy GroupPolicy) *ServerGroup {
+	return &ServerGroup{Name: name, Policy: policy, members: make(map[vmmodel.ID]topology.BBID)}
+}
+
+// Members reports the current membership count.
+func (g *ServerGroup) Members() int { return len(g.members) }
+
+// HostsUsed returns the set of building blocks currently hosting members.
+func (g *ServerGroup) HostsUsed() map[topology.BBID]int {
+	out := make(map[topology.BBID]int, len(g.members))
+	for _, bb := range g.members {
+		out[bb]++
+	}
+	return out
+}
+
+// record registers a member placement.
+func (g *ServerGroup) record(id vmmodel.ID, bb topology.BBID) {
+	g.members[id] = bb
+}
+
+// forget removes a member (on deletion).
+func (g *ServerGroup) forget(id vmmodel.ID) {
+	delete(g.members, id)
+}
+
+// allows reports whether placing a new member on bb satisfies the policy.
+func (g *ServerGroup) allows(bb topology.BBID) bool {
+	used := g.HostsUsed()
+	switch g.Policy {
+	case Affinity:
+		if len(used) == 0 {
+			return true // first member seeds the group's host
+		}
+		_, ok := used[bb]
+		return ok
+	case AntiAffinity:
+		_, taken := used[bb]
+		return !taken
+	default:
+		return true
+	}
+}
+
+// ServerGroupFilter enforces the request's server-group policy
+// (OpenStack's ServerGroupAffinityFilter / ServerGroupAntiAffinityFilter).
+type ServerGroupFilter struct{}
+
+// Name implements Filter.
+func (ServerGroupFilter) Name() string { return "ServerGroupFilter" }
+
+// Pass implements Filter.
+func (ServerGroupFilter) Pass(req *RequestSpec, h *HostState) bool {
+	if req.Group == nil {
+		return true
+	}
+	return req.Group.allows(h.BB.ID)
+}

@@ -1,0 +1,114 @@
+package nova
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sapsim/internal/sim"
+	"sapsim/internal/topology"
+)
+
+func TestAntiAffinitySpreadsAcrossBBs(t *testing.T) {
+	_, sched := testEnv(t, DefaultConfig())
+	group := NewServerGroup("ha-pair", AntiAffinity)
+	var bbs []topology.BBID
+	for i := 0; i < 2; i++ {
+		vm := mkVM(fmt.Sprintf("vm-%d", i), "MC")
+		res, err := sched.Schedule(&RequestSpec{VM: vm, Group: group}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bbs = append(bbs, res.BB.ID)
+	}
+	if bbs[0] == bbs[1] {
+		t.Errorf("anti-affinity pair co-located on %s", bbs[0])
+	}
+	if group.Members() != 2 {
+		t.Errorf("members = %d", group.Members())
+	}
+}
+
+func TestAntiAffinityExhaustsHosts(t *testing.T) {
+	_, sched := testEnv(t, DefaultConfig())
+	// Only two general-purpose BBs exist: the third member cannot place.
+	group := NewServerGroup("triple", AntiAffinity)
+	placed := 0
+	var lastErr error
+	for i := 0; i < 3; i++ {
+		vm := mkVM(fmt.Sprintf("vm-%d", i), "MC")
+		if _, err := sched.Schedule(&RequestSpec{VM: vm, Group: group}, 0); err == nil {
+			placed++
+		} else {
+			lastErr = err
+		}
+	}
+	if placed != 2 {
+		t.Errorf("placed %d anti-affinity members on 2 BBs, want 2", placed)
+	}
+	var nvh *NoValidHostError
+	if !errors.As(lastErr, &nvh) {
+		t.Fatalf("third member error = %v", lastErr)
+	}
+	if nvh.Reasons["ServerGroupFilter"] == 0 {
+		t.Errorf("expected ServerGroupFilter eliminations: %v", nvh.Reasons)
+	}
+}
+
+func TestAffinityCoLocates(t *testing.T) {
+	_, sched := testEnv(t, DefaultConfig())
+	group := NewServerGroup("tier", Affinity)
+	var bbs []topology.BBID
+	for i := 0; i < 4; i++ {
+		vm := mkVM(fmt.Sprintf("vm-%d", i), "MK")
+		res, err := sched.Schedule(&RequestSpec{VM: vm, Group: group}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bbs = append(bbs, res.BB.ID)
+	}
+	for i := 1; i < len(bbs); i++ {
+		if bbs[i] != bbs[0] {
+			t.Fatalf("affinity group scattered: %v", bbs)
+		}
+	}
+}
+
+func TestDeleteReleasesGroupMembership(t *testing.T) {
+	_, sched := testEnv(t, DefaultConfig())
+	group := NewServerGroup("pair", AntiAffinity)
+	vms := make([]*RequestSpec, 2)
+	for i := 0; i < 2; i++ {
+		vms[i] = &RequestSpec{VM: mkVM(fmt.Sprintf("vm-%d", i), "MC"), Group: group}
+		if _, err := sched.Schedule(vms[i], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete one member; a replacement must be schedulable again.
+	if err := sched.Delete(vms[0].VM, sim.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if group.Members() != 1 {
+		t.Errorf("members after delete = %d", group.Members())
+	}
+	replacement := &RequestSpec{VM: mkVM("vm-r", "MC"), Group: group}
+	if _, err := sched.Schedule(replacement, 2*sim.Hour); err != nil {
+		t.Fatalf("replacement rejected: %v", err)
+	}
+}
+
+func TestGroupPolicyString(t *testing.T) {
+	if Affinity.String() != "affinity" || AntiAffinity.String() != "anti-affinity" {
+		t.Error("policy strings wrong")
+	}
+	if GroupPolicy(9).String() != "GroupPolicy(9)" {
+		t.Error("unknown policy string wrong")
+	}
+}
+
+func TestNilGroupPassesFilter(t *testing.T) {
+	req := &RequestSpec{VM: mkVM("x", "MK")}
+	if !(ServerGroupFilter{}).Pass(req, &HostState{BB: &topology.BuildingBlock{ID: "b"}}) {
+		t.Error("nil group should pass")
+	}
+}

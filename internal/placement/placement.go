@@ -1,0 +1,295 @@
+// Package placement models the OpenStack Placement API: resource-provider
+// inventories and allocation records that the Nova scheduler consults before
+// assigning a VM (Fig. 2, step 5).
+//
+// In the SAP deployment each vSphere cluster (building block) is one
+// resource provider; Nova allocates against the cluster, not the individual
+// hypervisor — the root cause of the intra-BB fragmentation the paper
+// documents (Sec. 3.1).
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ResourceClass names follow the Placement API conventions.
+type ResourceClass string
+
+const (
+	VCPU     ResourceClass = "VCPU"
+	MemoryMB ResourceClass = "MEMORY_MB"
+	DiskGB   ResourceClass = "DISK_GB"
+)
+
+// Inventory is the capacity of one resource class on a provider.
+type Inventory struct {
+	Total int64
+	// AllocationRatio is the overcommit factor applied to Total when
+	// admitting allocations (Placement's allocation_ratio).
+	AllocationRatio float64
+	// Reserved is capacity withheld from placement.
+	Reserved int64
+}
+
+// Capacity is the admissible allocation: (Total - Reserved) × ratio.
+func (inv Inventory) Capacity() int64 {
+	usable := inv.Total - inv.Reserved
+	if usable < 0 {
+		usable = 0
+	}
+	return int64(float64(usable) * inv.AllocationRatio)
+}
+
+// Request is the resource ask of one VM, keyed by resource class.
+type Request map[ResourceClass]int64
+
+// Provider is one resource provider with inventories and usage counters.
+type Provider struct {
+	Name        string
+	Traits      map[string]bool // e.g. "HANA", "GPU"
+	inventories map[ResourceClass]Inventory
+	used        map[ResourceClass]int64
+}
+
+// Inventory returns the inventory of a class (zero value when absent).
+func (p *Provider) Inventory(rc ResourceClass) Inventory { return p.inventories[rc] }
+
+// Used returns the allocated amount of a class.
+func (p *Provider) Used(rc ResourceClass) int64 { return p.used[rc] }
+
+// Free returns remaining admissible capacity of a class.
+func (p *Provider) Free(rc ResourceClass) int64 {
+	return p.inventories[rc].Capacity() - p.used[rc]
+}
+
+// HasTrait reports whether the provider advertises the trait.
+func (p *Provider) HasTrait(trait string) bool { return p.Traits[trait] }
+
+// fits reports whether the request fits the provider's free capacity.
+func (p *Provider) fits(req Request) bool {
+	for rc, amount := range req {
+		if _, ok := p.inventories[rc]; !ok {
+			return false
+		}
+		if p.Free(rc) < amount {
+			return false
+		}
+	}
+	return true
+}
+
+// Allocation records one consumer's resource hold on a provider.
+type Allocation struct {
+	Consumer string // VM ID
+	Provider string
+	Request  Request
+}
+
+// Errors returned by the service.
+var (
+	ErrDuplicateProvider = errors.New("placement: duplicate provider")
+	ErrUnknownProvider   = errors.New("placement: unknown provider")
+	ErrUnknownConsumer   = errors.New("placement: unknown consumer")
+	ErrDuplicateConsumer = errors.New("placement: consumer already has an allocation")
+	ErrCapacityExceeded  = errors.New("placement: insufficient capacity")
+	ErrEmptyRequest      = errors.New("placement: empty request")
+)
+
+// Service is the placement database: providers and allocations. It is safe
+// for concurrent use.
+type Service struct {
+	mu          sync.Mutex
+	providers   map[string]*Provider
+	allocations map[string]*Allocation
+}
+
+// NewService returns an empty placement service.
+func NewService() *Service {
+	return &Service{
+		providers:   make(map[string]*Provider),
+		allocations: make(map[string]*Allocation),
+	}
+}
+
+// CreateProvider registers a resource provider with its inventories.
+func (s *Service) CreateProvider(name string, inv map[ResourceClass]Inventory, traits ...string) (*Provider, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.providers[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateProvider, name)
+	}
+	p := &Provider{
+		Name:        name,
+		Traits:      make(map[string]bool),
+		inventories: make(map[ResourceClass]Inventory, len(inv)),
+		used:        make(map[ResourceClass]int64),
+	}
+	for rc, i := range inv {
+		if i.AllocationRatio <= 0 {
+			i.AllocationRatio = 1
+		}
+		p.inventories[rc] = i
+	}
+	for _, t := range traits {
+		p.Traits[t] = true
+	}
+	s.providers[name] = p
+	return p, nil
+}
+
+// Provider looks up a provider by name.
+func (s *Service) Provider(name string) (*Provider, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.providers[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownProvider, name)
+	}
+	return p, nil
+}
+
+// Providers returns all providers sorted by name.
+func (s *Service) Providers() []*Provider {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Provider, 0, len(s.providers))
+	for _, p := range s.providers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// UpdateInventory replaces one resource class inventory on a provider, e.g.
+// when nodes enter or leave maintenance.
+func (s *Service) UpdateInventory(provider string, rc ResourceClass, inv Inventory) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.providers[provider]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownProvider, provider)
+	}
+	if inv.AllocationRatio <= 0 {
+		inv.AllocationRatio = 1
+	}
+	p.inventories[rc] = inv
+	return nil
+}
+
+// Candidates returns the names of providers that can satisfy the request,
+// sorted by name. requiredTraits restricts to providers advertising every
+// trait; forbiddenTraits excludes providers advertising any.
+func (s *Service) Candidates(req Request, requiredTraits, forbiddenTraits []string) ([]string, error) {
+	if len(req) == 0 {
+		return nil, ErrEmptyRequest
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+candidates:
+	for name, p := range s.providers {
+		for _, t := range requiredTraits {
+			if !p.HasTrait(t) {
+				continue candidates
+			}
+		}
+		for _, t := range forbiddenTraits {
+			if p.HasTrait(t) {
+				continue candidates
+			}
+		}
+		if p.fits(req) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Claim atomically allocates the request for the consumer on the provider.
+// It fails if capacity was consumed since the candidate query — the race
+// Nova handles with scheduling retries.
+func (s *Service) Claim(consumer, provider string, req Request) error {
+	if len(req) == 0 {
+		return ErrEmptyRequest
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.allocations[consumer]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateConsumer, consumer)
+	}
+	p, ok := s.providers[provider]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownProvider, provider)
+	}
+	if !p.fits(req) {
+		return fmt.Errorf("%w: %s on %s", ErrCapacityExceeded, consumer, provider)
+	}
+	for rc, amount := range req {
+		p.used[rc] += amount
+	}
+	s.allocations[consumer] = &Allocation{Consumer: consumer, Provider: provider, Request: req}
+	return nil
+}
+
+// Move re-points the consumer's allocation to another provider atomically
+// (used for cross-BB rebalancing; intra-BB DRS moves do not touch
+// placement).
+func (s *Service) Move(consumer, newProvider string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	alloc, ok := s.allocations[consumer]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownConsumer, consumer)
+	}
+	dst, ok := s.providers[newProvider]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownProvider, newProvider)
+	}
+	if alloc.Provider == newProvider {
+		return nil
+	}
+	if !dst.fits(alloc.Request) {
+		return fmt.Errorf("%w: move %s to %s", ErrCapacityExceeded, consumer, newProvider)
+	}
+	src := s.providers[alloc.Provider]
+	for rc, amount := range alloc.Request {
+		src.used[rc] -= amount
+		dst.used[rc] += amount
+	}
+	alloc.Provider = newProvider
+	return nil
+}
+
+// Release frees the consumer's allocation.
+func (s *Service) Release(consumer string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	alloc, ok := s.allocations[consumer]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownConsumer, consumer)
+	}
+	p := s.providers[alloc.Provider]
+	for rc, amount := range alloc.Request {
+		p.used[rc] -= amount
+	}
+	delete(s.allocations, consumer)
+	return nil
+}
+
+// AllocationOf returns the consumer's allocation, or nil.
+func (s *Service) AllocationOf(consumer string) *Allocation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.allocations[consumer]
+}
+
+// AllocationCount reports the number of live allocations.
+func (s *Service) AllocationCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.allocations)
+}

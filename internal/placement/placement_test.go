@@ -1,0 +1,288 @@
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestService(t *testing.T) *Service {
+	t.Helper()
+	s := NewService()
+	inv := map[ResourceClass]Inventory{
+		VCPU:     {Total: 100, AllocationRatio: 4},
+		MemoryMB: {Total: 1 << 20, AllocationRatio: 1, Reserved: 1 << 16},
+	}
+	if _, err := s.CreateProvider("bb-0", inv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateProvider("bb-1", inv, "HANA"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestInventoryCapacity(t *testing.T) {
+	inv := Inventory{Total: 100, AllocationRatio: 4, Reserved: 10}
+	if got := inv.Capacity(); got != 360 {
+		t.Errorf("Capacity = %d, want 360", got)
+	}
+	neg := Inventory{Total: 5, Reserved: 10, AllocationRatio: 2}
+	if got := neg.Capacity(); got != 0 {
+		t.Errorf("over-reserved capacity = %d, want 0", got)
+	}
+}
+
+func TestCreateProviderDefaults(t *testing.T) {
+	s := NewService()
+	p, err := s.CreateProvider("x", map[ResourceClass]Inventory{VCPU: {Total: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Inventory(VCPU).AllocationRatio; got != 1 {
+		t.Errorf("default allocation ratio = %v, want 1", got)
+	}
+	if _, err := s.CreateProvider("x", nil); !errors.Is(err, ErrDuplicateProvider) {
+		t.Errorf("duplicate error = %v", err)
+	}
+}
+
+func TestCandidatesAndTraits(t *testing.T) {
+	s := newTestService(t)
+	req := Request{VCPU: 8, MemoryMB: 32 << 10}
+	all, err := s.Candidates(req, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 || all[0] != "bb-0" || all[1] != "bb-1" {
+		t.Errorf("candidates = %v", all)
+	}
+	hana, err := s.Candidates(req, []string{"HANA"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hana) != 1 || hana[0] != "bb-1" {
+		t.Errorf("HANA candidates = %v", hana)
+	}
+	general, err := s.Candidates(req, nil, []string{"HANA"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(general) != 1 || general[0] != "bb-0" {
+		t.Errorf("general candidates = %v", general)
+	}
+	if _, err := s.Candidates(nil, nil, nil); !errors.Is(err, ErrEmptyRequest) {
+		t.Errorf("empty request error = %v", err)
+	}
+	// Unknown resource class disqualifies.
+	none, err := s.Candidates(Request{"PONY": 1}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Errorf("unknown class candidates = %v", none)
+	}
+}
+
+func TestClaimReleaseLifecycle(t *testing.T) {
+	s := newTestService(t)
+	req := Request{VCPU: 100, MemoryMB: 1 << 18}
+	if err := s.Claim("vm-1", "bb-0", req); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := s.Provider("bb-0")
+	if p.Used(VCPU) != 100 {
+		t.Errorf("used vcpu = %d", p.Used(VCPU))
+	}
+	if got := p.Free(VCPU); got != 300 {
+		t.Errorf("free vcpu = %d, want 300", got)
+	}
+	if s.AllocationCount() != 1 {
+		t.Error("allocation not recorded")
+	}
+	alloc := s.AllocationOf("vm-1")
+	if alloc == nil || alloc.Provider != "bb-0" {
+		t.Errorf("allocation = %+v", alloc)
+	}
+
+	if err := s.Claim("vm-1", "bb-0", req); !errors.Is(err, ErrDuplicateConsumer) {
+		t.Errorf("duplicate consumer error = %v", err)
+	}
+	if err := s.Release("vm-1"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Used(VCPU) != 0 || s.AllocationCount() != 0 {
+		t.Error("release did not free resources")
+	}
+	if err := s.Release("vm-1"); !errors.Is(err, ErrUnknownConsumer) {
+		t.Errorf("double release error = %v", err)
+	}
+}
+
+func TestClaimCapacityRace(t *testing.T) {
+	s := newTestService(t)
+	// bb-0 has 400 admissible vCPUs; the 5th claim of 100 must fail even
+	// though a stale candidate query would have returned bb-0.
+	for i := 0; i < 4; i++ {
+		if err := s.Claim(fmt.Sprintf("vm-%d", i), "bb-0", Request{VCPU: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Claim("vm-4", "bb-0", Request{VCPU: 100}); !errors.Is(err, ErrCapacityExceeded) {
+		t.Errorf("over-capacity claim error = %v", err)
+	}
+}
+
+func TestClaimErrors(t *testing.T) {
+	s := newTestService(t)
+	if err := s.Claim("vm", "nope", Request{VCPU: 1}); !errors.Is(err, ErrUnknownProvider) {
+		t.Errorf("unknown provider error = %v", err)
+	}
+	if err := s.Claim("vm", "bb-0", nil); !errors.Is(err, ErrEmptyRequest) {
+		t.Errorf("empty request error = %v", err)
+	}
+}
+
+func TestMove(t *testing.T) {
+	s := newTestService(t)
+	req := Request{VCPU: 50, MemoryMB: 1 << 16}
+	if err := s.Claim("vm-1", "bb-0", req); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Move("vm-1", "bb-1"); err != nil {
+		t.Fatal(err)
+	}
+	p0, _ := s.Provider("bb-0")
+	p1, _ := s.Provider("bb-1")
+	if p0.Used(VCPU) != 0 || p1.Used(VCPU) != 50 {
+		t.Errorf("move did not transfer usage: %d / %d", p0.Used(VCPU), p1.Used(VCPU))
+	}
+	if s.AllocationOf("vm-1").Provider != "bb-1" {
+		t.Error("allocation record not updated")
+	}
+	// Self-move is a no-op.
+	if err := s.Move("vm-1", "bb-1"); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown consumer / provider.
+	if err := s.Move("ghost", "bb-0"); !errors.Is(err, ErrUnknownConsumer) {
+		t.Errorf("ghost move error = %v", err)
+	}
+	if err := s.Move("vm-1", "nope"); !errors.Is(err, ErrUnknownProvider) {
+		t.Errorf("bad target error = %v", err)
+	}
+}
+
+func TestMoveCapacityCheck(t *testing.T) {
+	s := newTestService(t)
+	if err := s.Claim("big", "bb-1", Request{VCPU: 400}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Claim("vm-1", "bb-0", Request{VCPU: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Move("vm-1", "bb-1"); !errors.Is(err, ErrCapacityExceeded) {
+		t.Errorf("move to full provider error = %v", err)
+	}
+	// Failed move must not corrupt state.
+	p0, _ := s.Provider("bb-0")
+	if p0.Used(VCPU) != 10 {
+		t.Errorf("failed move corrupted source usage: %d", p0.Used(VCPU))
+	}
+}
+
+func TestUpdateInventory(t *testing.T) {
+	s := newTestService(t)
+	if err := s.UpdateInventory("bb-0", VCPU, Inventory{Total: 10, AllocationRatio: 0}); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := s.Provider("bb-0")
+	if got := p.Inventory(VCPU).Capacity(); got != 10 {
+		t.Errorf("updated capacity = %d, want 10 (ratio defaulted to 1)", got)
+	}
+	if err := s.UpdateInventory("nope", VCPU, Inventory{}); !errors.Is(err, ErrUnknownProvider) {
+		t.Errorf("unknown provider error = %v", err)
+	}
+}
+
+func TestProvidersSorted(t *testing.T) {
+	s := newTestService(t)
+	ps := s.Providers()
+	if len(ps) != 2 || ps[0].Name != "bb-0" || ps[1].Name != "bb-1" {
+		t.Errorf("providers = %v", ps)
+	}
+	if _, err := s.Provider("ghost"); !errors.Is(err, ErrUnknownProvider) {
+		t.Errorf("unknown lookup error = %v", err)
+	}
+}
+
+// Concurrent claims must never oversubscribe capacity.
+func TestConcurrentClaims(t *testing.T) {
+	s := NewService()
+	if _, err := s.CreateProvider("p", map[ResourceClass]Inventory{VCPU: {Total: 100, AllocationRatio: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	granted := make(chan string, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("vm-%d", i)
+			if err := s.Claim(id, "p", Request{VCPU: 10}); err == nil {
+				granted <- id
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(granted)
+	n := 0
+	for range granted {
+		n++
+	}
+	if n != 10 {
+		t.Errorf("granted %d claims of 10 vCPU on 100 capacity, want exactly 10", n)
+	}
+	p, _ := s.Provider("p")
+	if p.Used(VCPU) != 100 {
+		t.Errorf("used = %d, want 100", p.Used(VCPU))
+	}
+}
+
+// Property: usage counters never go negative and free never exceeds
+// capacity across random claim/release sequences.
+func TestPropertyUsageInvariant(t *testing.T) {
+	f := func(ops []bool) bool {
+		s := NewService()
+		if _, err := s.CreateProvider("p", map[ResourceClass]Inventory{VCPU: {Total: 50, AllocationRatio: 2}}); err != nil {
+			return false
+		}
+		live := []string{}
+		for i, claim := range ops {
+			if claim {
+				id := fmt.Sprintf("c-%d", i)
+				if err := s.Claim(id, "p", Request{VCPU: 7}); err == nil {
+					live = append(live, id)
+				}
+			} else if len(live) > 0 {
+				if err := s.Release(live[len(live)-1]); err != nil {
+					return false
+				}
+				live = live[:len(live)-1]
+			}
+			p, _ := s.Provider("p")
+			if p.Used(VCPU) < 0 || p.Free(VCPU) > p.Inventory(VCPU).Capacity() {
+				return false
+			}
+			if p.Used(VCPU) != int64(len(live))*7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,66 @@
+package promql
+
+import (
+	"fmt"
+	"testing"
+
+	"sapsim/internal/sim"
+	"sapsim/internal/telemetry"
+)
+
+func benchEngine(b *testing.B) *Engine {
+	b.Helper()
+	st := telemetry.NewStore()
+	for n := 0; n < 100; n++ {
+		l := telemetry.MustLabels(
+			"hostsystem", fmt.Sprintf("n%03d", n),
+			"cluster", fmt.Sprintf("bb-%d", n/10),
+		)
+		for i := 0; i < 288; i++ { // one day at 5-minute resolution
+			if err := st.Append("cpu", l, sim.Time(i)*5*sim.Minute, float64((n+i)%100)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return &Engine{Store: st}
+}
+
+// BenchmarkQueryInstant measures a plain selector over 100 series.
+func BenchmarkQueryInstant(b *testing.B) {
+	e := benchEngine(b)
+	expr, err := Parse(`cpu{cluster="bb-3"}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Eval(expr, 23*sim.Hour); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryAggregatedRange measures the composed Fig. 6-style query.
+func BenchmarkQueryAggregatedRange(b *testing.B) {
+	e := benchEngine(b)
+	expr, err := Parse(`100 - avg by (cluster) (avg_over_time(cpu[1d]))`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Eval(expr, 23*sim.Hour); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParse measures query parsing alone.
+func BenchmarkParse(b *testing.B) {
+	const q = `quantile_over_time(0.95, vrops_hostsystem_cpu_contention_percentage{datacenter="dc-A",cluster!="bb-0"}[1d]) > 5`
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package promql
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"sapsim/internal/sim"
+)
+
+// queryResponse mirrors the Prometheus /api/v1/query response shape for the
+// instant-vector case.
+type queryResponse struct {
+	Status string    `json:"status"`
+	Data   queryData `json:"data"`
+	Error  string    `json:"error,omitempty"`
+}
+
+type queryData struct {
+	ResultType string        `json:"resultType"`
+	Result     []queryResult `json:"result"`
+}
+
+type queryResult struct {
+	Metric map[string]string `json:"metric"`
+	// Value is [unix-ish seconds, value-string], Prometheus wire format.
+	Value [2]any `json:"value"`
+}
+
+// Handler serves instant queries: GET /api/v1/query?query=...&time=<secs>.
+// Time is simulation seconds since the epoch (default: latest possible).
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("query")
+		if q == "" {
+			writeJSON(w, http.StatusBadRequest, queryResponse{Status: "error", Error: "missing query parameter"})
+			return
+		}
+		at := sim.Time(1<<62 - 1) // "now": after every sample
+		if ts := r.URL.Query().Get("time"); ts != "" {
+			secs, err := strconv.ParseFloat(ts, 64)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, queryResponse{Status: "error", Error: "bad time parameter"})
+				return
+			}
+			at = sim.Time(secs * float64(sim.Second))
+		}
+		vec, err := e.Query(q, at)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, queryResponse{Status: "error", Error: err.Error()})
+			return
+		}
+		resp := queryResponse{Status: "success", Data: queryData{ResultType: "vector"}}
+		for _, s := range vec {
+			metric := map[string]string{}
+			for _, name := range s.Labels.Names() {
+				metric[name] = s.Labels.Get(name)
+			}
+			resp.Data.Result = append(resp.Data.Result, queryResult{
+				Metric: metric,
+				Value:  [2]any{at.Seconds(), strconv.FormatFloat(s.Value, 'g', -1, 64)},
+			})
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,112 @@
+package promql
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"sapsim/internal/sim"
+	"sapsim/internal/telemetry"
+)
+
+func queryHTTP(t *testing.T, srv *httptest.Server, q, at string) queryResponse {
+	t.Helper()
+	u := srv.URL + "/api/v1/query?query=" + url.QueryEscape(q)
+	if at != "" {
+		u += "&time=" + at
+	}
+	resp, err := srv.Client().Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestHTTPQuery(t *testing.T) {
+	e := testEngine(t)
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+
+	out := queryHTTP(t, srv, `cpu{hostsystem="n1"}`, "0")
+	if out.Status != "success" {
+		t.Fatalf("status = %s (%s)", out.Status, out.Error)
+	}
+	if len(out.Data.Result) != 1 {
+		t.Fatalf("results = %d", len(out.Data.Result))
+	}
+	r := out.Data.Result[0]
+	if r.Metric["hostsystem"] != "n1" || r.Metric["cluster"] != "bb-0" {
+		t.Errorf("metric labels = %v", r.Metric)
+	}
+	if r.Value[1] != "10" {
+		t.Errorf("value = %v", r.Value[1])
+	}
+}
+
+func TestHTTPQueryDefaultTimeIsLatest(t *testing.T) {
+	e := testEngine(t)
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+	out := queryHTTP(t, srv, `cpu{hostsystem="n1"}`, "")
+	if out.Status != "success" || len(out.Data.Result) != 1 {
+		t.Fatalf("out = %+v", out)
+	}
+	if out.Data.Result[0].Value[1] != "33" { // last sample 10+23
+		t.Errorf("latest value = %v", out.Data.Result[0].Value[1])
+	}
+}
+
+func TestHTTPQueryAggregation(t *testing.T) {
+	e := testEngine(t)
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+	out := queryHTTP(t, srv, `avg by (cluster) (cpu)`, "0")
+	if len(out.Data.Result) != 2 {
+		t.Fatalf("groups = %d", len(out.Data.Result))
+	}
+}
+
+func TestHTTPQueryErrors(t *testing.T) {
+	e := testEngine(t)
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+
+	out := queryHTTP(t, srv, `cpu{`, "0")
+	if out.Status != "error" || out.Error == "" {
+		t.Errorf("malformed query response = %+v", out)
+	}
+	// Missing query parameter.
+	resp, err := srv.Client().Get(srv.URL + "/api/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("missing query status = %d", resp.StatusCode)
+	}
+	// Bad time.
+	out = queryHTTP(t, srv, `cpu`, "notatime")
+	if out.Status != "error" {
+		t.Errorf("bad time response = %+v", out)
+	}
+}
+
+func TestHTTPQueryEmptyVector(t *testing.T) {
+	st := telemetry.NewStore()
+	if err := st.Append("m", telemetry.MustLabels("a", "b"), sim.Hour, 1); err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Store: st}
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+	out := queryHTTP(t, srv, `nope`, "0")
+	if out.Status != "success" || len(out.Data.Result) != 0 {
+		t.Errorf("empty vector response = %+v", out)
+	}
+}

@@ -1,0 +1,186 @@
+// Package promql implements the subset of the Prometheus query language
+// needed to reproduce the paper's analyses directly against the telemetry
+// store: instant vector selectors, *_over_time range functions,
+// aggregation operators with by/without grouping, scalar arithmetic, and
+// comparison filtering.
+//
+// Examples the analysis uses:
+//
+//	avg_over_time(vrops_hostsystem_cpu_contention_percentage{datacenter="dc-A"}[1d])
+//	max by (cluster) (vrops_hostsystem_cpu_ready_milliseconds) / 1000
+//	100 - avg_over_time(vrops_hostsystem_cpu_core_utilization_percentage[1d])
+//	quantile_over_time(0.95, vrops_hostsystem_cpu_contention_percentage[1d]) > 5
+package promql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexer token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokOp // + - * / and comparisons
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes a query string.
+type lexer struct {
+	input string
+	pos   int
+}
+
+func (l *lexer) errorf(pos int, format string, args ...any) error {
+	return fmt.Errorf("promql: position %d: %s", pos, fmt.Sprintf(format, args...))
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) && unicode.IsSpace(rune(l.input[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.input[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case c == '{':
+		l.pos++
+		return token{tokLBrace, "{", start}, nil
+	case c == '}':
+		l.pos++
+		return token{tokRBrace, "}", start}, nil
+	case c == '[':
+		l.pos++
+		return token{tokLBracket, "[", start}, nil
+	case c == ']':
+		l.pos++
+		return token{tokRBracket, "]", start}, nil
+	case c == ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case c == '"':
+		return l.lexString()
+	case c == '+' || c == '*' || c == '/':
+		l.pos++
+		return token{tokOp, string(c), start}, nil
+	case c == '-':
+		l.pos++
+		return token{tokOp, "-", start}, nil
+	case c == '>' || c == '<':
+		l.pos++
+		if l.pos < len(l.input) && l.input[l.pos] == '=' {
+			l.pos++
+			return token{tokOp, string(c) + "=", start}, nil
+		}
+		return token{tokOp, string(c), start}, nil
+	case c == '=':
+		l.pos++
+		if l.pos < len(l.input) && l.input[l.pos] == '=' {
+			l.pos++
+			return token{tokOp, "==", start}, nil
+		}
+		// Bare '=' only appears inside label matchers; the parser
+		// handles it there.
+		return token{tokOp, "=", start}, nil
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.input) && l.input[l.pos] == '=' {
+			l.pos++
+			return token{tokOp, "!=", start}, nil
+		}
+		return token{}, l.errorf(start, "unexpected '!'")
+	case isDigit(c) || c == '.':
+		return l.lexNumber()
+	case isIdentStart(c):
+		return l.lexIdent()
+	default:
+		return token{}, l.errorf(start, "unexpected character %q", c)
+	}
+}
+
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		if c == '\\' && l.pos+1 < len(l.input) {
+			b.WriteByte(l.input[l.pos+1])
+			l.pos += 2
+			continue
+		}
+		if c == '"' {
+			l.pos++
+			return token{tokString, b.String(), start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, l.errorf(start, "unterminated string")
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		if c == '.' {
+			if seenDot {
+				break
+			}
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if c == 'e' || c == 'E' {
+			l.pos++
+			if l.pos < len(l.input) && (l.input[l.pos] == '+' || l.input[l.pos] == '-') {
+				l.pos++
+			}
+			continue
+		}
+		if !isDigit(c) {
+			break
+		}
+		l.pos++
+	}
+	return token{tokNumber, l.input[start:l.pos], start}, nil
+}
+
+func (l *lexer) lexIdent() (token, error) {
+	start := l.pos
+	for l.pos < len(l.input) && isIdentPart(l.input[l.pos]) {
+		l.pos++
+	}
+	return token{tokIdent, l.input[start:l.pos], start}, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || c == ':' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

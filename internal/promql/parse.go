@@ -1,0 +1,429 @@
+package promql
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"sapsim/internal/sim"
+	"sapsim/internal/telemetry"
+)
+
+// Expr is a parsed query expression.
+type Expr interface {
+	exprNode()
+}
+
+// NumberLit is a scalar constant.
+type NumberLit struct {
+	Value float64
+}
+
+// VectorSelector selects series by metric name and label matchers.
+type VectorSelector struct {
+	Metric   string
+	Matchers []LabelMatcher
+}
+
+// LabelMatcher matches one label. Op is "=" or "!=".
+type LabelMatcher struct {
+	Name  string
+	Op    string
+	Value string
+}
+
+// RangeCall applies an *_over_time function (or rate) to a range selector.
+type RangeCall struct {
+	Func     string
+	Param    float64 // quantile for quantile_over_time
+	Selector *VectorSelector
+	Range    sim.Time
+}
+
+// Aggregate applies sum/avg/min/max/count with optional grouping.
+type Aggregate struct {
+	Op      string
+	By      []string // grouping labels (By semantics)
+	Without bool     // true → By lists excluded labels
+	Expr    Expr
+}
+
+// BinaryOp is arithmetic or comparison between an expression and a scalar
+// (either side), or between two scalars.
+type BinaryOp struct {
+	Op  string
+	LHS Expr
+	RHS Expr
+}
+
+func (*NumberLit) exprNode()      {}
+func (*VectorSelector) exprNode() {}
+func (*RangeCall) exprNode()      {}
+func (*Aggregate) exprNode()      {}
+func (*BinaryOp) exprNode()       {}
+
+var rangeFuncs = map[string]bool{
+	"avg_over_time":      true,
+	"max_over_time":      true,
+	"min_over_time":      true,
+	"sum_over_time":      true,
+	"count_over_time":    true,
+	"quantile_over_time": true,
+	"rate":               true,
+	"delta":              true,
+}
+
+var aggOps = map[string]bool{
+	"sum": true, "avg": true, "min": true, "max": true, "count": true,
+}
+
+// parser is a recursive-descent parser with one token of lookahead.
+type parser struct {
+	lex  *lexer
+	tok  token
+	prev token
+}
+
+// Parse parses a query.
+func Parse(input string) (Expr, error) {
+	p := &parser{lex: &lexer{input: input}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	expr, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("promql: trailing input at position %d: %q", p.tok.pos, p.tok.text)
+	}
+	return expr, nil
+}
+
+func (p *parser) advance() error {
+	p.prev = p.tok
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind, what string) error {
+	if p.tok.kind != kind {
+		return fmt.Errorf("promql: position %d: expected %s, got %q", p.tok.pos, what, p.tok.text)
+	}
+	return p.advance()
+}
+
+// parseExpr handles comparison precedence (lowest).
+func (p *parser) parseExpr() (Expr, error) {
+	lhs, err := p.parseArith()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && isComparison(p.tok.text) {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseArith()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryOp{Op: op, LHS: lhs, RHS: rhs}
+	}
+	return lhs, nil
+}
+
+// parseArith handles + and -.
+func (p *parser) parseArith() (Expr, error) {
+	lhs, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "+" || p.tok.text == "-") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryOp{Op: op, LHS: lhs, RHS: rhs}
+	}
+	return lhs, nil
+}
+
+// parseTerm handles * and /.
+func (p *parser) parseTerm() (Expr, error) {
+	lhs, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "*" || p.tok.text == "/") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryOp{Op: op, LHS: lhs, RHS: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch {
+	case p.tok.kind == tokNumber:
+		v, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("promql: bad number %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &NumberLit{Value: v}, nil
+
+	case p.tok.kind == tokOp && p.tok.text == "-":
+		// Unary minus: -expr = 0 - expr.
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryOp{Op: "-", LHS: &NumberLit{Value: 0}, RHS: inner}, nil
+
+	case p.tok.kind == tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+
+	case p.tok.kind == tokIdent && rangeFuncs[p.tok.text]:
+		return p.parseRangeCall()
+
+	case p.tok.kind == tokIdent && aggOps[p.tok.text]:
+		return p.parseAggregate()
+
+	case p.tok.kind == tokIdent:
+		return p.parseSelector()
+
+	default:
+		return nil, fmt.Errorf("promql: position %d: unexpected %q", p.tok.pos, p.tok.text)
+	}
+}
+
+func (p *parser) parseRangeCall() (Expr, error) {
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	call := &RangeCall{Func: name}
+	if name == "quantile_over_time" {
+		if p.tok.kind != tokNumber {
+			return nil, fmt.Errorf("promql: quantile_over_time needs a quantile argument")
+		}
+		q, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, err
+		}
+		call.Param = q
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokComma, ","); err != nil {
+			return nil, err
+		}
+	}
+	sel, err := p.parseSelector()
+	if err != nil {
+		return nil, err
+	}
+	vs := sel.(*VectorSelector)
+	if err := p.expect(tokLBracket, "["); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokNumber && p.tok.kind != tokIdent {
+		return nil, fmt.Errorf("promql: position %d: expected duration", p.tok.pos)
+	}
+	durText := p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	// The lexer splits "24h" into number "24" and ident "h"; rejoin.
+	if p.tok.kind == tokIdent {
+		durText += p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	dur, err := parseDuration(durText)
+	if err != nil {
+		return nil, err
+	}
+	if dur <= 0 {
+		return nil, fmt.Errorf("promql: non-positive range %q", durText)
+	}
+	if err := p.expect(tokRBracket, "]"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	call.Selector = vs
+	call.Range = dur
+	return call, nil
+}
+
+func (p *parser) parseAggregate() (Expr, error) {
+	op := p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	agg := &Aggregate{Op: op}
+	// Optional by/without clause before the parenthesized expression.
+	if p.tok.kind == tokIdent && (p.tok.text == "by" || p.tok.text == "without") {
+		agg.Without = p.tok.text == "without"
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokLParen, "("); err != nil {
+			return nil, err
+		}
+		for p.tok.kind == tokIdent {
+			agg.By = append(agg.By, p.tok.text)
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	inner, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	agg.Expr = inner
+	return agg, nil
+}
+
+func (p *parser) parseSelector() (Expr, error) {
+	metric := p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	sel := &VectorSelector{Metric: metric}
+	if p.tok.kind != tokLBrace {
+		return sel, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokIdent {
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokOp || (p.tok.text != "=" && p.tok.text != "!=") {
+			return nil, fmt.Errorf("promql: position %d: expected = or != in matcher", p.tok.pos)
+		}
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokString {
+			return nil, fmt.Errorf("promql: position %d: expected quoted label value", p.tok.pos)
+		}
+		sel.Matchers = append(sel.Matchers, LabelMatcher{Name: name, Op: op, Value: p.tok.text})
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expect(tokRBrace, "}"); err != nil {
+		return nil, err
+	}
+	return sel, nil
+}
+
+func isComparison(op string) bool {
+	switch op {
+	case ">", "<", ">=", "<=", "==", "!=":
+		return true
+	}
+	return false
+}
+
+// parseDuration accepts Prometheus-style durations (30s, 5m, 1h, 2d, 1w)
+// and falls back to Go syntax.
+func parseDuration(s string) (sim.Time, error) {
+	if len(s) >= 2 {
+		unit := s[len(s)-1]
+		if n, err := strconv.ParseFloat(s[:len(s)-1], 64); err == nil {
+			switch unit {
+			case 's':
+				return sim.Time(n * float64(sim.Second)), nil
+			case 'm':
+				return sim.Time(n * float64(sim.Minute)), nil
+			case 'h':
+				return sim.Time(n * float64(sim.Hour)), nil
+			case 'd':
+				return sim.Time(n * float64(sim.Day)), nil
+			case 'w':
+				return sim.Time(n * float64(sim.Week)), nil
+			}
+		}
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("promql: bad duration %q", s)
+	}
+	return sim.Time(d), nil
+}
+
+// matchersOf converts selector matchers to telemetry matchers, separating
+// negative matchers (telemetry.Select only supports equality; inequality is
+// applied post-selection by the evaluator).
+func matchersOf(sel *VectorSelector) (eq []telemetry.Matcher, neq []LabelMatcher) {
+	for _, m := range sel.Matchers {
+		if m.Op == "=" {
+			eq = append(eq, telemetry.Matcher{Name: m.Name, Value: m.Value})
+		} else {
+			neq = append(neq, m)
+		}
+	}
+	return eq, neq
+}

@@ -1,0 +1,325 @@
+package promql
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sapsim/internal/sim"
+	"sapsim/internal/telemetry"
+)
+
+func testEngine(t *testing.T) *Engine {
+	t.Helper()
+	st := telemetry.NewStore()
+	series := []struct {
+		node, cluster string
+		base          float64
+	}{
+		{"n1", "bb-0", 10},
+		{"n2", "bb-0", 20},
+		{"n3", "bb-1", 60},
+	}
+	for _, s := range series {
+		l := telemetry.MustLabels("hostsystem", s.node, "cluster", s.cluster)
+		for i := 0; i < 24; i++ {
+			ts := sim.Time(i) * sim.Hour
+			if err := st.Append("cpu", l, ts, s.base+float64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return &Engine{Store: st}
+}
+
+func mustQuery(t *testing.T, e *Engine, q string, at sim.Time) Vector {
+	t.Helper()
+	v, err := e.Query(q, at)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", q, err)
+	}
+	return v
+}
+
+func TestSelector(t *testing.T) {
+	e := testEngine(t)
+	v := mustQuery(t, e, `cpu`, 23*sim.Hour)
+	if len(v) != 3 {
+		t.Fatalf("samples = %d, want 3", len(v))
+	}
+	v = mustQuery(t, e, `cpu{hostsystem="n1"}`, 5*sim.Hour)
+	if len(v) != 1 || v[0].Value != 15 {
+		t.Errorf("n1@5h = %v", v)
+	}
+	v = mustQuery(t, e, `cpu{cluster="bb-0",hostsystem!="n1"}`, 0)
+	if len(v) != 1 || v[0].Value != 20 {
+		t.Errorf("negative matcher = %v", v)
+	}
+	if v := mustQuery(t, e, `cpu{cluster="nope"}`, 0); len(v) != 0 {
+		t.Errorf("unmatched selector = %v", v)
+	}
+}
+
+func TestInstantSemantics(t *testing.T) {
+	e := testEngine(t)
+	// At 5h30m the latest sample is the 5h one.
+	v := mustQuery(t, e, `cpu{hostsystem="n1"}`, 5*sim.Hour+30*sim.Minute)
+	if len(v) != 1 || v[0].Value != 15 {
+		t.Errorf("staleness lookup = %v", v)
+	}
+	// Before the first sample: empty.
+	if v := mustQuery(t, e, `cpu{hostsystem="n1"}`, -sim.Hour); len(v) != 0 {
+		t.Errorf("pre-series query = %v", v)
+	}
+}
+
+func TestRangeFunctions(t *testing.T) {
+	e := testEngine(t)
+	at := 23 * sim.Hour
+	cases := []struct {
+		q    string
+		want float64
+	}{
+		{`avg_over_time(cpu{hostsystem="n1"}[24h])`, 21.5}, // mean of 10..33
+		{`max_over_time(cpu{hostsystem="n1"}[24h])`, 33},
+		{`min_over_time(cpu{hostsystem="n1"}[24h])`, 10},
+		{`sum_over_time(cpu{hostsystem="n1"}[2h])`, 31 + 32 + 33},
+		{`count_over_time(cpu{hostsystem="n1"}[24h])`, 24},
+		{`delta(cpu{hostsystem="n1"}[24h])`, 23},
+	}
+	for _, c := range cases {
+		v := mustQuery(t, e, c.q, at)
+		if len(v) != 1 {
+			t.Errorf("%s: %d samples", c.q, len(v))
+			continue
+		}
+		if math.Abs(v[0].Value-c.want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", c.q, v[0].Value, c.want)
+		}
+	}
+}
+
+func TestRate(t *testing.T) {
+	e := testEngine(t)
+	// n1 rises 1 per hour → rate = 1/3600 per second.
+	v := mustQuery(t, e, `rate(cpu{hostsystem="n1"}[24h])`, 23*sim.Hour)
+	if len(v) != 1 || math.Abs(v[0].Value-1.0/3600) > 1e-12 {
+		t.Errorf("rate = %v", v)
+	}
+}
+
+func TestQuantileOverTime(t *testing.T) {
+	e := testEngine(t)
+	v := mustQuery(t, e, `quantile_over_time(0.95, cpu{hostsystem="n3"}[24h])`, 23*sim.Hour)
+	if len(v) != 1 {
+		t.Fatalf("samples = %d", len(v))
+	}
+	// n3: 60..83; p95 ≈ 81.85.
+	if v[0].Value < 81 || v[0].Value > 83 {
+		t.Errorf("p95 = %v", v[0].Value)
+	}
+}
+
+func TestPromDurations(t *testing.T) {
+	e := testEngine(t)
+	for _, q := range []string{
+		`count_over_time(cpu{hostsystem="n1"}[1d])`,
+		`count_over_time(cpu{hostsystem="n1"}[1440m])`,
+		`count_over_time(cpu{hostsystem="n1"}[86400s])`,
+	} {
+		v := mustQuery(t, e, q, 23*sim.Hour)
+		if len(v) != 1 || v[0].Value != 24 {
+			t.Errorf("%s = %v", q, v)
+		}
+	}
+}
+
+func TestAggregations(t *testing.T) {
+	e := testEngine(t)
+	at := sim.Time(0) // values: n1=10 n2=20 n3=60
+	cases := []struct {
+		q    string
+		want float64
+	}{
+		{`sum(cpu)`, 90},
+		{`avg(cpu)`, 30},
+		{`min(cpu)`, 10},
+		{`max(cpu)`, 60},
+		{`count(cpu)`, 3},
+	}
+	for _, c := range cases {
+		v := mustQuery(t, e, c.q, at)
+		if len(v) != 1 || v[0].Value != c.want {
+			t.Errorf("%s = %v, want %v", c.q, v, c.want)
+		}
+		if v[0].Labels.Len() != 0 {
+			t.Errorf("%s kept labels: %v", c.q, v[0].Labels)
+		}
+	}
+}
+
+func TestAggregationBy(t *testing.T) {
+	e := testEngine(t)
+	v := mustQuery(t, e, `avg by (cluster) (cpu)`, 0)
+	if len(v) != 2 {
+		t.Fatalf("groups = %d, want 2", len(v))
+	}
+	got := map[string]float64{}
+	for _, s := range v {
+		got[s.Labels.Get("cluster")] = s.Value
+	}
+	if got["bb-0"] != 15 || got["bb-1"] != 60 {
+		t.Errorf("by-cluster = %v", got)
+	}
+}
+
+func TestAggregationWithout(t *testing.T) {
+	e := testEngine(t)
+	v := mustQuery(t, e, `max without (hostsystem) (cpu)`, 0)
+	if len(v) != 2 {
+		t.Fatalf("groups = %d, want 2", len(v))
+	}
+	for _, s := range v {
+		if s.Labels.Get("hostsystem") != "" {
+			t.Error("hostsystem label survived without()")
+		}
+		if s.Labels.Get("cluster") == "" {
+			t.Error("cluster label dropped by without()")
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	e := testEngine(t)
+	v := mustQuery(t, e, `cpu{hostsystem="n1"} * 2 + 5`, 0)
+	if len(v) != 1 || v[0].Value != 25 {
+		t.Errorf("arith = %v", v)
+	}
+	v = mustQuery(t, e, `100 - cpu{hostsystem="n3"}`, 0)
+	if len(v) != 1 || v[0].Value != 40 {
+		t.Errorf("flipped sub = %v", v)
+	}
+	v = mustQuery(t, e, `-cpu{hostsystem="n1"}`, 0)
+	if len(v) != 1 || v[0].Value != -10 {
+		t.Errorf("unary minus = %v", v)
+	}
+}
+
+func TestVectorVectorRejected(t *testing.T) {
+	e := testEngine(t)
+	if _, err := e.Query(`cpu + cpu`, 0); err == nil {
+		t.Error("vector+vector accepted")
+	}
+}
+
+func TestComparisonFilters(t *testing.T) {
+	e := testEngine(t)
+	v := mustQuery(t, e, `cpu > 15`, 0)
+	if len(v) != 2 {
+		t.Fatalf("filtered = %v", v)
+	}
+	for _, s := range v {
+		if s.Value <= 15 {
+			t.Errorf("sample %v below threshold survived", s.Value)
+		}
+	}
+	if v := mustQuery(t, e, `cpu >= 60`, 0); len(v) != 1 || v[0].Value != 60 {
+		t.Errorf(">= filter = %v", v)
+	}
+	if v := mustQuery(t, e, `cpu < 15`, 0); len(v) != 1 {
+		t.Errorf("< filter = %v", v)
+	}
+	// Scalar comparison yields 1/0.
+	if v := mustQuery(t, e, `3 > 2`, 0); len(v) != 1 || v[0].Value != 1 {
+		t.Errorf("scalar cmp = %v", v)
+	}
+	if v := mustQuery(t, e, `2 > 3`, 0); len(v) != 1 || v[0].Value != 0 {
+		t.Errorf("scalar cmp false = %v", v)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	e := testEngine(t)
+	// 2 + 3 * 4 = 14, not 20.
+	if v := mustQuery(t, e, `2 + 3 * 4`, 0); v[0].Value != 14 {
+		t.Errorf("precedence = %v", v[0].Value)
+	}
+	if v := mustQuery(t, e, `(2 + 3) * 4`, 0); v[0].Value != 20 {
+		t.Errorf("parens = %v", v[0].Value)
+	}
+}
+
+func TestComposedQuery(t *testing.T) {
+	e := testEngine(t)
+	// The Fig. 6-style query: per-cluster free CPU from daily averages.
+	v := mustQuery(t, e, `100 - avg by (cluster) (avg_over_time(cpu[1d]))`, 23*sim.Hour)
+	if len(v) != 2 {
+		t.Fatalf("groups = %d", len(v))
+	}
+	got := map[string]float64{}
+	for _, s := range v {
+		got[s.Labels.Get("cluster")] = s.Value
+	}
+	// bb-0 mean over 24h = (21.5+31.5)/2 = 26.5 → free 73.5.
+	if math.Abs(got["bb-0"]-73.5) > 1e-9 {
+		t.Errorf("bb-0 free = %v", got["bb-0"])
+	}
+	if math.Abs(got["bb-1"]-(100-71.5)) > 1e-9 {
+		t.Errorf("bb-1 free = %v", got["bb-1"])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`cpu{`,
+		`cpu{a=}`,
+		`cpu{a="1"`,
+		`avg_over_time(cpu)`,
+		`avg_over_time(cpu[abc])`,
+		`quantile_over_time(cpu[1h])`,
+		`sum by (cluster cpu)`,
+		`cpu + `,
+		`cpu ! 3`,
+		`"juststring"`,
+		`cpu[1h]`,
+		`avg_over_time(cpu[0s])`,
+		`cpu{a="1"} extra`,
+	}
+	e := testEngine(t)
+	for _, q := range bad {
+		if _, err := e.Query(q, 0); err == nil {
+			t.Errorf("Query(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	e := testEngine(t)
+	out := Format(mustQuery(t, e, `cpu{hostsystem="n1"}`, 0))
+	if !strings.Contains(out, `hostsystem="n1"`) || !strings.Contains(out, "10") {
+		t.Errorf("Format = %q", out)
+	}
+	scalar := Format(Vector{{Value: 42}})
+	if strings.TrimSpace(scalar) != "42" {
+		t.Errorf("scalar format = %q", scalar)
+	}
+}
+
+func TestEscapedLabelValue(t *testing.T) {
+	st := telemetry.NewStore()
+	l := telemetry.MustLabels("name", `we"ird`)
+	if err := st.Append("m", l, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Store: st}
+	v := mustQuery(t, e, `m{name="we\"ird"}`, 0)
+	if len(v) != 1 || v[0].Value != 7 {
+		t.Errorf("escaped selector = %v", v)
+	}
+	// Aggregation must also survive the quoted value.
+	v = mustQuery(t, e, `sum by (name) (m)`, 0)
+	if len(v) != 1 || v[0].Labels.Get("name") != `we"ird` {
+		t.Errorf("escaped grouping = %v", v)
+	}
+}

@@ -1,0 +1,284 @@
+// Package report renders analysis results into the textual equivalents of
+// the paper's tables and figures: aligned ASCII tables for print, CSV for
+// downstream plotting.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sapsim/internal/analysis"
+	"sapsim/internal/sim"
+)
+
+// Table renders rows as an aligned ASCII table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders rows as comma-separated values with a header.
+func CSV(headers []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(headers, ","))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// fmtCell renders a float with NaN as empty (missing heatmap cells).
+func fmtCell(v float64) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// HeatmapCSV renders a heatmap with date row labels, matching the figures'
+// y-axis (days since the 2024-07-31 epoch).
+func HeatmapCSV(h *analysis.Heatmap) string {
+	headers := append([]string{"date"}, h.Columns...)
+	rows := make([][]string, h.Days)
+	for d := 0; d < h.Days; d++ {
+		row := make([]string, len(h.Columns)+1)
+		row[0] = (sim.Time(d) * sim.Day).Date(sim.Epoch).Format("2006-01-02")
+		for c := range h.Columns {
+			row[c+1] = fmtCell(h.Cell(d, c))
+		}
+		rows[d] = row
+	}
+	return CSV(headers, rows)
+}
+
+// heatShades maps intensity to terminal shading, light to dark.
+var heatShades = []rune{' ', '░', '▒', '▓', '█'}
+
+// HeatmapASCII renders the heatmap as shaded cells, visually mirroring the
+// paper's figures: one row per day, one column per entity, darker = less
+// free resources, '?' = missing data (white cells in the paper). Values
+// are shaded relative to [lo, hi].
+func HeatmapASCII(h *analysis.Heatmap, lo, hi float64) string {
+	var b strings.Builder
+	if hi <= lo {
+		lo, hi = 0, 100
+	}
+	span := hi - lo
+	for d := 0; d < h.Days; d++ {
+		fmt.Fprintf(&b, "%s |", (sim.Time(d) * sim.Day).Date(sim.Epoch).Format("01-02"))
+		for c := range h.Columns {
+			v := h.Cell(d, c)
+			if math.IsNaN(v) {
+				b.WriteRune('?')
+				continue
+			}
+			// Darker = less free: invert the scale.
+			frac := 1 - (v-lo)/span
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			idx := int(frac * float64(len(heatShades)-1))
+			b.WriteRune(heatShades[idx])
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "      %d columns, most free (left) to least free (right); shade range %.0f..%.0f%% free\n",
+		len(h.Columns), hi, lo)
+	return b.String()
+}
+
+// HeatmapSummary prints the compact per-column view: entity, mean free
+// percentage over the window — the reading a human takes from the figure.
+func HeatmapSummary(h *analysis.Heatmap, maxCols int) string {
+	n := len(h.Columns)
+	if maxCols > 0 && n > maxCols {
+		n = maxCols
+	}
+	rows := make([][]string, 0, n)
+	for c := 0; c < n; c++ {
+		rows = append(rows, []string{h.Columns[c], fmtCell(h.ColumnMean(c))})
+	}
+	return Table([]string{"entity", "mean"}, rows)
+}
+
+// NodeStatsTable renders Fig. 8-style per-node aggregates.
+func NodeStatsTable(stats []analysis.NodeStat, unit string) string {
+	rows := make([][]string, len(stats))
+	for i, s := range stats {
+		rows[i] = []string{
+			fmt.Sprintf("%d", i),
+			s.Node,
+			fmt.Sprintf("%.1f", s.Max),
+			fmt.Sprintf("%.1f", s.P95),
+			fmt.Sprintf("%.1f", s.Mean),
+		}
+	}
+	return Table([]string{"rank", "node", "max (" + unit + ")", "p95 (" + unit + ")", "mean (" + unit + ")"}, rows)
+}
+
+// DailySeriesCSV renders Fig. 9-style daily aggregates.
+func DailySeriesCSV(days []analysis.DailyAggregate) string {
+	rows := make([][]string, len(days))
+	for i, d := range days {
+		rows[i] = []string{
+			(sim.Time(d.Day) * sim.Day).Date(sim.Epoch).Format("2006-01-02"),
+			fmtCell(d.Mean), fmtCell(d.P95), fmtCell(d.Max), fmt.Sprintf("%d", d.N),
+		}
+	}
+	return CSV([]string{"date", "mean", "p95", "max", "samples"}, rows)
+}
+
+// CDFCSV samples the CDF at fixed points for plotting.
+func CDFCSV(c *analysis.CDF, points int) string {
+	if points < 2 {
+		points = 2
+	}
+	rows := make([][]string, 0, points)
+	for i := 0; i < points; i++ {
+		x := float64(i) / float64(points-1)
+		rows = append(rows, []string{
+			fmt.Sprintf("%.3f", x),
+			fmt.Sprintf("%.4f", c.At(x)),
+		})
+	}
+	return CSV([]string{"usage_ratio", "cumulative_probability"}, rows)
+}
+
+// UtilizationSplitTable renders the Fig. 14 threshold classification.
+func UtilizationSplitTable(s analysis.UtilizationSplit) string {
+	rows := [][]string{
+		{"underutilized (<70%)", fmt.Sprintf("%.1f%%", s.Under*100)},
+		{"optimal (70-85%)", fmt.Sprintf("%.1f%%", s.Optimal*100)},
+		{"overutilized (>85%)", fmt.Sprintf("%.1f%%", s.Over*100)},
+		{"population", fmt.Sprintf("%d", s.N)},
+	}
+	return Table([]string{"class", "share"}, rows)
+}
+
+// LifetimeTable renders Fig. 15's per-flavor bars: flavor, instance count,
+// mean lifetime (humanized), and both class labels.
+func LifetimeTable(rows []analysis.FlavorLifetime) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Flavor.Name,
+			fmt.Sprintf("%d", r.Count),
+			humanHours(r.MeanHours),
+			r.VCPUClass.String(),
+			r.RAMClass.String(),
+		}
+	}
+	return Table([]string{"flavor", "#VMs", "avg lifetime", "vCPU class", "RAM class"}, out)
+}
+
+// humanHours renders hours on the Fig. 15 axis scale (13h, 1d, 1w, 1mo, 1.6y ...).
+func humanHours(h float64) string {
+	switch {
+	case h < 48:
+		return fmt.Sprintf("%.0fh", h)
+	case h < 14*24:
+		return fmt.Sprintf("%.1fd", h/24)
+	case h < 60*24:
+		return fmt.Sprintf("%.1fw", h/(7*24))
+	case h < 365*24:
+		return fmt.Sprintf("%.1fmo", h/(30*24))
+	default:
+		return fmt.Sprintf("%.1fy", h/(365*24))
+	}
+}
+
+// ClassTable renders Tables 1/2: class, bound description, count.
+func ClassTable(title string, bounds []string, counts []int) string {
+	rows := make([][]string, len(bounds))
+	for i := range bounds {
+		rows[i] = []string{bounds[i], fmt.Sprintf("%d", counts[i])}
+	}
+	return title + "\n" + Table([]string{"category", "number of VMs"}, rows)
+}
+
+// DatasetComparisonRow is one row of Table 3.
+type DatasetComparisonRow struct {
+	Name     string
+	CPU      bool
+	Memory   bool
+	Network  bool
+	Storage  bool
+	GPU      bool
+	Batch    bool
+	VMs      bool
+	Lifetime string
+	Scale    string
+	Duration string
+	Sampling string
+	Public   bool
+}
+
+// Table3 reproduces the paper's comparison of prior datasets.
+func Table3() []DatasetComparisonRow {
+	return []DatasetComparisonRow{
+		{"Google", true, true, false, false, false, true, false, "sec-days", "672,074 jobs", "29 days", "5 min", true},
+		{"Alibaba", true, true, false, true, true, true, false, "min-days", "~4k nodes", "8 days", "n/a", true},
+		{"Philly", true, true, true, false, true, true, false, "min-weeks", "117,325 jobs", "75 days", "1 min", true},
+		{"Atlas", true, true, true, false, true, true, false, "n/a", "96,260 jobs", "90-1,800 days", "1 min", true},
+		{"MIT", true, true, true, true, true, true, false, "min-days", "441-9k nodes", "90-180+ days", "n/a", true},
+		{"Azure", true, true, true, true, false, false, true, "min-weeks", ">1M VMs", "14 days", "5 min", false},
+		{"SAP (this work)", true, true, true, true, false, false, true, "min-years", "1.8k nodes, 48k VMs", "30 days", "30s-300s", true},
+	}
+}
+
+// Table3Text renders Table 3.
+func Table3Text() string {
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	rows := make([][]string, 0, len(Table3()))
+	for _, r := range Table3() {
+		rows = append(rows, []string{
+			r.Name, mark(r.CPU), mark(r.Memory), mark(r.Network), mark(r.Storage),
+			mark(r.GPU), mark(r.Batch), mark(r.VMs), r.Lifetime, r.Scale,
+			r.Duration, r.Sampling, mark(r.Public),
+		})
+	}
+	return Table([]string{
+		"dataset", "cpu", "mem", "net", "storage", "gpu", "batch", "vms",
+		"lifetime", "scale", "duration", "sampling", "public",
+	}, rows)
+}

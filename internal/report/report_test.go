@@ -1,0 +1,211 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sapsim/internal/analysis"
+	"sapsim/internal/sim"
+	"sapsim/internal/telemetry"
+	"sapsim/internal/vmmodel"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{{"xxxx", "1"}, {"y", "22"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// All lines same width.
+	w := len(lines[0])
+	for _, l := range lines[1:] {
+		if len(l) != w {
+			t.Errorf("ragged table:\n%s", out)
+			break
+		}
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Error("missing separator")
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	out := CSV([]string{"x", "y"}, [][]string{{"1", "2"}})
+	if out != "x,y\n1,2\n" {
+		t.Errorf("CSV = %q", out)
+	}
+}
+
+func buildHeatmap(t *testing.T) *analysis.Heatmap {
+	t.Helper()
+	st := telemetry.NewStore()
+	for _, n := range []struct {
+		name string
+		v    float64
+	}{{"n1", 20}, {"n2", 80}} {
+		l := telemetry.MustLabels("hostsystem", n.name)
+		for d := 0; d < 2; d++ {
+			if err := st.Append("cpu", l, sim.Time(d)*sim.Day+sim.Hour, n.v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return analysis.DailyHeatmap(st, "cpu", "hostsystem", 3, analysis.FreePercent)
+}
+
+func TestHeatmapCSV(t *testing.T) {
+	out := HeatmapCSV(buildHeatmap(t))
+	if !strings.HasPrefix(out, "date,n1,n2\n") {
+		t.Errorf("header wrong: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	if !strings.Contains(out, "2024-07-31,80.00,20.00") {
+		t.Errorf("first row wrong:\n%s", out)
+	}
+	// Day 3 has no data → empty cells.
+	if !strings.Contains(out, "2024-08-02,,") {
+		t.Errorf("missing-data row wrong:\n%s", out)
+	}
+}
+
+func TestHeatmapASCII(t *testing.T) {
+	h := buildHeatmap(t) // n1 at 80 free, n2 at 20 free; day 3 missing
+	out := HeatmapASCII(h, 0, 100)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // 3 day rows + legend
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "07-31 |") {
+		t.Errorf("row label wrong: %q", lines[0])
+	}
+	// Free 80 → light shade, free 20 → dark shade; missing day → '?'.
+	row0 := []rune(strings.TrimSuffix(strings.SplitN(lines[0], "|", 2)[1], "|"))
+	if row0[0] == row0[1] {
+		t.Errorf("cells with different values shaded identically: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "??") {
+		t.Errorf("missing day not rendered as '?': %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "2 columns") {
+		t.Errorf("legend wrong: %q", lines[3])
+	}
+	// Degenerate range falls back to 0..100.
+	if HeatmapASCII(h, 5, 5) == "" {
+		t.Error("degenerate range produced empty output")
+	}
+}
+
+func TestHeatmapSummary(t *testing.T) {
+	out := HeatmapSummary(buildHeatmap(t), 1)
+	if !strings.Contains(out, "n1") || strings.Contains(out, "n2") {
+		t.Errorf("maxCols not honored:\n%s", out)
+	}
+}
+
+func TestNodeStatsTable(t *testing.T) {
+	out := NodeStatsTable([]analysis.NodeStat{{Node: "n1", Max: 220.4, P95: 30.2, Mean: 5.1}}, "s")
+	if !strings.Contains(out, "220.4") || !strings.Contains(out, "max (s)") {
+		t.Errorf("stats table wrong:\n%s", out)
+	}
+}
+
+func TestDailySeriesCSV(t *testing.T) {
+	days := []analysis.DailyAggregate{
+		{Day: 0, Mean: 1.5, P95: 4.2, Max: 38.1, N: 100},
+		{Day: 1, Mean: math.NaN(), P95: math.NaN(), Max: math.NaN(), N: 0},
+	}
+	out := DailySeriesCSV(days)
+	if !strings.Contains(out, "2024-07-31,1.50,4.20,38.10,100") {
+		t.Errorf("day0 row wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "2024-08-01,,,,0") {
+		t.Errorf("NaN day rendering wrong:\n%s", out)
+	}
+}
+
+func TestCDFCSV(t *testing.T) {
+	c := analysis.NewCDF([]float64{0.1, 0.2, 0.9})
+	out := CDFCSV(c, 5)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "usage_ratio,cumulative_probability" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasSuffix(lines[5], "1.0000") {
+		t.Errorf("CDF should reach 1: %q", lines[5])
+	}
+	// points<2 is clamped.
+	if !strings.Contains(CDFCSV(c, 1), "1.000") {
+		t.Error("clamped CDF missing max point")
+	}
+}
+
+func TestUtilizationSplitTable(t *testing.T) {
+	out := UtilizationSplitTable(analysis.UtilizationSplit{Under: 0.82, Optimal: 0.1, Over: 0.08, N: 1000})
+	for _, want := range []string{"82.0%", "10.0%", "8.0%", "1000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLifetimeTable(t *testing.T) {
+	cat := vmmodel.CatalogByName()
+	rows := []analysis.FlavorLifetime{
+		{Flavor: cat["MK"], Count: 100, MeanHours: 168, VCPUClass: vmmodel.Small, RAMClass: vmmodel.Medium},
+	}
+	out := LifetimeTable(rows)
+	if !strings.Contains(out, "MK") || !strings.Contains(out, "7.0d") {
+		t.Errorf("lifetime table wrong:\n%s", out)
+	}
+}
+
+func TestHumanHours(t *testing.T) {
+	cases := map[float64]string{
+		13:                 "13h",
+		24 * 5:             "5.0d",
+		24 * 7 * 3:         "3.0w",
+		24 * 30 * 3:        "3.0mo",
+		24 * 365 * 32 / 10: "3.2y",
+	}
+	for h, want := range cases {
+		if got := humanHours(h); got != want {
+			t.Errorf("humanHours(%v) = %q, want %q", h, got, want)
+		}
+	}
+}
+
+func TestClassTable(t *testing.T) {
+	out := ClassTable("Table 1", []string{"Small (<=4)", "Medium"}, []int{28446, 14340})
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "28446") {
+		t.Errorf("class table wrong:\n%s", out)
+	}
+}
+
+func TestTable3MatchesPaper(t *testing.T) {
+	rows := Table3()
+	if len(rows) != 7 {
+		t.Fatalf("Table 3 rows = %d, want 7", len(rows))
+	}
+	sap := rows[len(rows)-1]
+	if sap.Name != "SAP (this work)" {
+		t.Fatalf("last row = %s", sap.Name)
+	}
+	// The SAP dataset's unique position: public, VM workloads, lifetimes
+	// to years, 30s-300s sampling.
+	if !sap.Public || !sap.VMs || sap.Lifetime != "min-years" || sap.Sampling != "30s-300s" {
+		t.Errorf("SAP row wrong: %+v", sap)
+	}
+	// Azure is the only other VM-level dataset and it is not public.
+	for _, r := range rows[:6] {
+		if r.VMs && r.Public {
+			t.Errorf("%s claims public VM data; the paper says SAP is first", r.Name)
+		}
+	}
+	text := Table3Text()
+	if !strings.Contains(text, "SAP (this work)") || !strings.Contains(text, "30s-300s") {
+		t.Errorf("rendered Table 3 wrong:\n%s", text)
+	}
+}

@@ -1,0 +1,273 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine drives every experiment in this repository: a 30-day
+// observation window (matching the paper's measurement period) executes in
+// seconds of wall-clock time. Events are totally ordered by (time, priority,
+// sequence) so that runs are reproducible bit-for-bit given the same inputs.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Time is a point in simulated time, expressed as a duration since the
+// simulation epoch. Using a duration rather than wall-clock time keeps the
+// engine free of time-zone and monotonic-clock concerns.
+type Time time.Duration
+
+// Common simulation durations.
+const (
+	Second = Time(time.Second)
+	Minute = Time(time.Minute)
+	Hour   = Time(time.Hour)
+	Day    = 24 * Hour
+	Week   = 7 * Day
+)
+
+// Duration converts t to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports t in seconds.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// Hours reports t in hours.
+func (t Time) Hours() float64 { return time.Duration(t).Hours() }
+
+// Days reports t in days.
+func (t Time) Days() float64 { return time.Duration(t).Hours() / 24 }
+
+// String renders t as a duration since epoch.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Date renders t as an absolute date given the paper's observation epoch
+// (2024-07-31 00:00:00 UTC), e.g. for heatmap row labels.
+func (t Time) Date(epoch time.Time) time.Time { return epoch.Add(time.Duration(t)) }
+
+// Epoch is the observation start used throughout the paper:
+// July 31, 2024 00:00:00 UTC.
+var Epoch = time.Date(2024, time.July, 31, 0, 0, 0, 0, time.UTC)
+
+// Handler is a scheduled callback. It runs at the event's firing time and
+// may schedule further events.
+type Handler func(now Time)
+
+// Event is a scheduled occurrence inside the engine. Events are immutable
+// once scheduled; cancellation is expressed through Cancel.
+type Event struct {
+	at       Time
+	priority int
+	seq      uint64
+	fn       Handler
+	canceled bool
+	index    int // heap index, -1 when popped
+	name     string
+}
+
+// At reports the scheduled firing time.
+func (e *Event) At() Time { return e.at }
+
+// Name reports the optional diagnostic label given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+// Canceled reports whether Cancel was called before the event fired.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Cancel prevents the event's handler from running. Canceling an event that
+// has already fired (or was already canceled) is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// eventQueue is a min-heap ordered by (time, priority, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	if q[i].priority != q[j].priority {
+		return q[i].priority < q[j].priority
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	fired   uint64
+	running bool
+	horizon Time
+}
+
+// NewEngine returns an engine positioned at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are waiting in the queue (including
+// canceled ones that have not been popped yet).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// ErrPast is returned when scheduling an event before the current time.
+var ErrPast = errors.New("sim: cannot schedule event in the past")
+
+// Schedule registers fn to run at absolute time at. It returns the event,
+// which may be canceled until it fires.
+func (e *Engine) Schedule(at Time, fn Handler) (*Event, error) {
+	return e.schedule(at, 0, "", fn)
+}
+
+// ScheduleNamed is Schedule with a diagnostic label.
+func (e *Engine) ScheduleNamed(at Time, name string, fn Handler) (*Event, error) {
+	return e.schedule(at, 0, name, fn)
+}
+
+// After registers fn to run delay after the current time.
+func (e *Engine) After(delay Time, fn Handler) (*Event, error) {
+	return e.schedule(e.now+delay, 0, "", fn)
+}
+
+// SchedulePriority registers fn at time at with an explicit priority;
+// events at the same instant run in ascending priority order.
+func (e *Engine) SchedulePriority(at Time, priority int, fn Handler) (*Event, error) {
+	return e.schedule(at, priority, "", fn)
+}
+
+func (e *Engine) schedule(at Time, priority int, name string, fn Handler) (*Event, error) {
+	if at < e.now {
+		return nil, fmt.Errorf("%w: at=%v now=%v", ErrPast, at, e.now)
+	}
+	if fn == nil {
+		return nil, errors.New("sim: nil handler")
+	}
+	e.seq++
+	ev := &Event{at: at, priority: priority, seq: e.seq, fn: fn, name: name}
+	heap.Push(&e.queue, ev)
+	return ev, nil
+}
+
+// Every schedules fn at start and then repeatedly every interval until the
+// engine's run horizon ends or the returned Ticker is stopped.
+func (e *Engine) Every(start, interval Time, fn Handler) (*Ticker, error) {
+	if interval <= 0 {
+		return nil, errors.New("sim: non-positive ticker interval")
+	}
+	t := &Ticker{engine: e, interval: interval, fn: fn}
+	var err error
+	t.next, err = e.Schedule(start, t.fire)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Ticker re-schedules a handler at a fixed interval.
+type Ticker struct {
+	engine   *Engine
+	interval Time
+	fn       Handler
+	next     *Event
+	stopped  bool
+}
+
+func (t *Ticker) fire(now Time) {
+	if t.stopped {
+		return
+	}
+	t.fn(now)
+	if t.stopped { // fn may call Stop
+		return
+	}
+	// Ignore ErrPast: cannot happen because now+interval > now.
+	t.next, _ = t.engine.Schedule(now+t.interval, t.fire)
+}
+
+// Stop prevents future ticks. It is safe to call from within the tick
+// handler and is idempotent.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.next != nil {
+		t.next.Cancel()
+	}
+}
+
+// Run executes events in order until the queue empties or the next event
+// lies beyond horizon. The clock finishes at min(horizon, last event time);
+// it advances to horizon exactly when events at or beyond it remain.
+func (e *Engine) Run(horizon Time) error {
+	if e.running {
+		return errors.New("sim: engine already running")
+	}
+	e.running = true
+	e.horizon = horizon
+	defer func() { e.running = false }()
+
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if ev.at > horizon {
+			e.now = horizon
+			return nil
+		}
+		heap.Pop(&e.queue)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn(ev.at)
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return nil
+}
+
+// Step executes exactly one (non-canceled) event, if any, and reports
+// whether an event ran. Useful in tests.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn(ev.at)
+		return true
+	}
+	return false
+}

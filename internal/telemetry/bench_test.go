@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"fmt"
+	"testing"
+
+	"sapsim/internal/sim"
+)
+
+// BenchmarkAppend measures the ingestion hot path (every scraped sample
+// passes through Append).
+func BenchmarkAppend(b *testing.B) {
+	st := NewStore()
+	labels := make([]Labels, 100)
+	for i := range labels {
+		labels[i] = MustLabels("hostsystem", fmt.Sprintf("n%03d", i), "cluster", "bb-0")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Append("cpu", labels[i%100], sim.Time(i)*sim.Second, float64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDailyStats measures the heatmap aggregation over a 30-day,
+// 5-minute-resolution series.
+func BenchmarkDailyStats(b *testing.B) {
+	s := &Series{}
+	for i := 0; i < 30*288; i++ {
+		s.Samples = append(s.Samples, Sample{T: sim.Time(i) * 5 * sim.Minute, V: float64(i % 97)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DailyStats(s, 30)
+	}
+}
+
+// BenchmarkPercentile measures the p95 computation used throughout the
+// Fig. 8/9 analyses.
+func BenchmarkPercentile(b *testing.B) {
+	samples := make([]Sample, 8640)
+	for i := range samples {
+		samples[i] = Sample{T: sim.Time(i), V: float64((i * 7919) % 1000)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Percentile(samples, 95)
+	}
+}

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"sapsim/internal/sim"
+)
+
+// Compaction mirrors the long-term-storage role Thanos plays above
+// Prometheus in the paper's monitoring stack (Sec. 4): raw high-resolution
+// samples are kept for a recent window, while older data is downsampled to
+// coarse means so month-scale queries stay cheap.
+
+// DropBefore removes all samples strictly older than cutoff, enforcing a
+// retention limit. It reports the number of samples removed. Series left
+// empty are removed from the store.
+func (st *Store) DropBefore(cutoff sim.Time) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	removed := 0
+	for fp, s := range st.series {
+		n := 0
+		for n < len(s.Samples) && s.Samples[n].T < cutoff {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		removed += n
+		s.Samples = append([]Sample(nil), s.Samples[n:]...)
+		if len(s.Samples) == 0 {
+			delete(st.series, fp)
+			st.order = deleteFP(st.order, fp)
+		}
+	}
+	return removed
+}
+
+// Compact downsamples every sample older than olderThan to one mean sample
+// per step, keeping newer samples at full resolution. It reports the net
+// reduction in sample count. Compaction preserves per-bucket means, so
+// daily aggregates (the unit of every heatmap) are unchanged for
+// bucket-aligned steps.
+func (st *Store) Compact(olderThan sim.Time, step sim.Time) int {
+	if step <= 0 {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	reduced := 0
+	for _, s := range st.series {
+		cut := 0
+		for cut < len(s.Samples) && s.Samples[cut].T < olderThan {
+			cut++
+		}
+		if cut == 0 {
+			continue
+		}
+		old := &Series{Samples: s.Samples[:cut]}
+		ds := Downsample(old, step)
+		if len(ds) >= cut {
+			continue // nothing gained
+		}
+		merged := make([]Sample, 0, len(ds)+len(s.Samples)-cut)
+		merged = append(merged, ds...)
+		merged = append(merged, s.Samples[cut:]...)
+		reduced += len(s.Samples) - len(merged)
+		s.Samples = merged
+	}
+	return reduced
+}
+
+func deleteFP(order []string, fp string) []string {
+	for i, v := range order {
+		if v == fp {
+			return append(order[:i], order[i+1:]...)
+		}
+	}
+	return order
+}

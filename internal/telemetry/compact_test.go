@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+
+	"sapsim/internal/sim"
+)
+
+func fillStore(t *testing.T) *Store {
+	t.Helper()
+	st := NewStore()
+	l := MustLabels("node", "n1")
+	for i := 0; i < 10*24*12; i++ { // 10 days at 5-minute resolution
+		ts := sim.Time(i) * 5 * sim.Minute
+		if err := st.Append("cpu", l, ts, float64(i%12)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func TestDropBefore(t *testing.T) {
+	st := fillStore(t)
+	before := st.SampleCount()
+	removed := st.DropBefore(5 * sim.Day)
+	if removed != before/2 {
+		t.Errorf("removed %d, want %d", removed, before/2)
+	}
+	s := st.Select("cpu")[0]
+	if s.Samples[0].T != 5*sim.Day {
+		t.Errorf("first sample at %v, want 5d", s.Samples[0].T)
+	}
+	// Idempotent.
+	if again := st.DropBefore(5 * sim.Day); again != 0 {
+		t.Errorf("second drop removed %d", again)
+	}
+}
+
+func TestDropBeforeRemovesEmptySeries(t *testing.T) {
+	st := NewStore()
+	l := MustLabels("node", "gone")
+	if err := st.Append("cpu", l, sim.Hour, 1); err != nil {
+		t.Fatal(err)
+	}
+	st.DropBefore(sim.Day)
+	if st.SeriesCount() != 0 {
+		t.Error("empty series not removed")
+	}
+	if len(st.Select("cpu")) != 0 {
+		t.Error("select still returns the dead series")
+	}
+	// Appending afresh must work (series recreated).
+	if err := st.Append("cpu", l, 2*sim.Day, 2); err != nil {
+		t.Fatal(err)
+	}
+	if st.SeriesCount() != 1 {
+		t.Error("series not recreated")
+	}
+}
+
+func TestCompactReducesAndPreservesDailyMeans(t *testing.T) {
+	st := fillStore(t)
+	s := st.Select("cpu")[0]
+	wantDaily := DailyStats(s, 10)
+
+	before := st.SampleCount()
+	reduced := st.Compact(7*sim.Day, sim.Hour)
+	if reduced <= 0 {
+		t.Fatal("compaction reduced nothing")
+	}
+	if st.SampleCount() != before-reduced {
+		t.Errorf("sample accounting wrong: %d vs %d-%d", st.SampleCount(), before, reduced)
+	}
+
+	// The compacted region is hourly now; 7 days × 24 + 3 days × 288.
+	s = st.Select("cpu")[0]
+	want := 7*24 + 3*288
+	if len(s.Samples) != want {
+		t.Errorf("samples after compact = %d, want %d", len(s.Samples), want)
+	}
+
+	// Daily means must be unchanged (step divides the day and the raw
+	// pattern is uniform within buckets).
+	gotDaily := DailyStats(s, 10)
+	for d := range wantDaily {
+		if math.Abs(gotDaily[d].Mean-wantDaily[d].Mean) > 1e-9 {
+			t.Errorf("day %d mean changed: %v -> %v", d, wantDaily[d].Mean, gotDaily[d].Mean)
+		}
+	}
+
+	// Samples must remain strictly ordered (appendable).
+	for i := 1; i < len(s.Samples); i++ {
+		if s.Samples[i-1].T >= s.Samples[i].T {
+			t.Fatal("compacted series out of order")
+		}
+	}
+	l := MustLabels("node", "n1")
+	if err := st.Append("cpu", l, 11*sim.Day, 1); err != nil {
+		t.Errorf("append after compact: %v", err)
+	}
+}
+
+func TestCompactNoopCases(t *testing.T) {
+	st := fillStore(t)
+	if st.Compact(0, sim.Hour) != 0 {
+		t.Error("compacting nothing reduced samples")
+	}
+	if st.Compact(sim.Day, 0) != 0 {
+		t.Error("zero step compacted")
+	}
+	// Compacting already-coarse data gains nothing.
+	st.Compact(10*sim.Day, sim.Hour)
+	if st.Compact(10*sim.Day, sim.Hour) != 0 {
+		t.Error("recompaction reduced again")
+	}
+}

@@ -1,0 +1,254 @@
+// Package telemetry is an in-memory, labelled time-series store modeled on
+// the Prometheus + Thanos monitoring backend of the SAP Cloud Infrastructure
+// (Sec. 4). It stores samples appended by exporters or directly by the
+// simulator, and answers the range queries and aggregations the paper's
+// analysis requires (daily means, p95, max over node and VM populations).
+//
+// The store is deliberately simple — dense slices of samples per series —
+// because a 30-day simulated window at 30 s..300 s resolution over a few
+// hundred nodes fits comfortably in memory, just as the paper's regional
+// slice fits a Thanos deployment.
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"sapsim/internal/sim"
+)
+
+// Sample is one measurement point.
+type Sample struct {
+	T sim.Time
+	V float64
+}
+
+// Labels is an immutable label set. Construct with NewLabels.
+type Labels struct {
+	kv []string // flattened sorted key, value pairs
+}
+
+// NewLabels builds a label set from alternating key, value strings.
+func NewLabels(pairs ...string) (Labels, error) {
+	if len(pairs)%2 != 0 {
+		return Labels{}, errors.New("telemetry: odd number of label arguments")
+	}
+	type pair struct{ k, v string }
+	ps := make([]pair, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		if pairs[i] == "" {
+			return Labels{}, errors.New("telemetry: empty label name")
+		}
+		ps = append(ps, pair{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].k < ps[j].k })
+	for i := 1; i < len(ps); i++ {
+		if ps[i].k == ps[i-1].k {
+			return Labels{}, fmt.Errorf("telemetry: duplicate label %q", ps[i].k)
+		}
+	}
+	flat := make([]string, 0, len(pairs))
+	for _, p := range ps {
+		flat = append(flat, p.k, p.v)
+	}
+	return Labels{kv: flat}, nil
+}
+
+// MustLabels is NewLabels that panics on error; for constant label sets.
+func MustLabels(pairs ...string) Labels {
+	l, err := NewLabels(pairs...)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Get returns the value of a label, or "".
+func (l Labels) Get(name string) string {
+	for i := 0; i < len(l.kv); i += 2 {
+		if l.kv[i] == name {
+			return l.kv[i+1]
+		}
+	}
+	return ""
+}
+
+// Len reports the number of labels.
+func (l Labels) Len() int { return len(l.kv) / 2 }
+
+// Names returns the label names in sorted order.
+func (l Labels) Names() []string {
+	out := make([]string, 0, l.Len())
+	for i := 0; i < len(l.kv); i += 2 {
+		out = append(out, l.kv[i])
+	}
+	return out
+}
+
+// Pairs returns the flattened sorted key, value pairs. The slice is a copy.
+func (l Labels) Pairs() []string {
+	return append([]string(nil), l.kv...)
+}
+
+// String renders the label set in Prometheus selector syntax.
+func (l Labels) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(l.kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.kv[i], l.kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// fingerprint is a canonical map key for (metric, labels).
+func fingerprint(metric string, l Labels) string {
+	var b strings.Builder
+	b.WriteString(metric)
+	for _, s := range l.kv {
+		b.WriteByte(0xff)
+		b.WriteString(s)
+	}
+	return b.String()
+}
+
+// Series is one time series: a metric name, a label set, and samples in
+// strictly increasing time order.
+type Series struct {
+	Metric  string
+	Labels  Labels
+	Samples []Sample
+}
+
+// Last returns the most recent sample, or false if the series is empty.
+func (s *Series) Last() (Sample, bool) {
+	if len(s.Samples) == 0 {
+		return Sample{}, false
+	}
+	return s.Samples[len(s.Samples)-1], true
+}
+
+// Range returns the samples with from <= T < to. The returned slice aliases
+// the series storage; callers must not mutate it.
+func (s *Series) Range(from, to sim.Time) []Sample {
+	lo := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T >= from })
+	hi := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T >= to })
+	return s.Samples[lo:hi]
+}
+
+// At returns the value at or immediately before t (Prometheus instant-query
+// staleness semantics, without the staleness window).
+func (s *Series) At(t sim.Time) (float64, bool) {
+	i := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T > t })
+	if i == 0 {
+		return 0, false
+	}
+	return s.Samples[i-1].V, true
+}
+
+// Store holds many series and is safe for concurrent use (the exporter
+// scrape path and the simulator may interleave).
+type Store struct {
+	mu     sync.RWMutex
+	series map[string]*Series
+	order  []string // insertion order of fingerprints, for deterministic iteration
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{series: make(map[string]*Series)}
+}
+
+// ErrOutOfOrder is returned when appending a sample at or before the last
+// timestamp of its series.
+var ErrOutOfOrder = errors.New("telemetry: out-of-order sample")
+
+// Append adds a sample to the series identified by (metric, labels),
+// creating it on first use.
+func (st *Store) Append(metric string, labels Labels, t sim.Time, v float64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	fp := fingerprint(metric, labels)
+	s, ok := st.series[fp]
+	if !ok {
+		s = &Series{Metric: metric, Labels: labels}
+		st.series[fp] = s
+		st.order = append(st.order, fp)
+	}
+	if n := len(s.Samples); n > 0 && s.Samples[n-1].T >= t {
+		return fmt.Errorf("%w: %s t=%v last=%v", ErrOutOfOrder, metric, t, s.Samples[n-1].T)
+	}
+	s.Samples = append(s.Samples, Sample{T: t, V: v})
+	return nil
+}
+
+// Matcher restricts a selection to series whose label equals a value.
+type Matcher struct {
+	Name  string
+	Value string
+}
+
+// Select returns all series of the metric whose labels satisfy every
+// matcher, in deterministic (insertion) order.
+func (st *Store) Select(metric string, matchers ...Matcher) []*Series {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []*Series
+	for _, fp := range st.order {
+		s := st.series[fp]
+		if s.Metric != metric {
+			continue
+		}
+		ok := true
+		for _, m := range matchers {
+			if s.Labels.Get(m.Name) != m.Value {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Metrics returns the distinct metric names in the store, sorted.
+func (st *Store) Metrics() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range st.series {
+		if !seen[s.Metric] {
+			seen[s.Metric] = true
+			out = append(out, s.Metric)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SeriesCount reports the number of stored series.
+func (st *Store) SeriesCount() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.series)
+}
+
+// SampleCount reports the total number of stored samples.
+func (st *Store) SampleCount() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	n := 0
+	for _, s := range st.series {
+		n += len(s.Samples)
+	}
+	return n
+}

@@ -1,0 +1,28 @@
+package workload
+
+import (
+	"testing"
+
+	"sapsim/internal/sim"
+)
+
+// BenchmarkGenerate measures full workload synthesis at the default
+// laptop-scale population.
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NewGenerator(DefaultSpec(2400, uint64(i))).Generate()
+	}
+}
+
+// BenchmarkProfileCPUUsage measures the per-sample demand evaluation — the
+// innermost loop of host snapshots.
+func BenchmarkProfileCPUUsage(b *testing.B) {
+	p := &Profile{
+		Seed: 1, MeanCPU: 0.3, DiurnalAmp: 0.2, WeekendDip: 0.2,
+		NoiseAmp: 0.1, BurstProb: 0.01, BurstMag: 2,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.CPUUsage(sim.Time(i) * sim.Minute)
+	}
+}

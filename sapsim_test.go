@@ -1,0 +1,291 @@
+package sapsim
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"sapsim/internal/analysis"
+	"sapsim/internal/exporter"
+	"sapsim/internal/sim"
+)
+
+// analysisWeekEffect computes the weekday/weekend CPU demand difference of
+// a run's host telemetry.
+func analysisWeekEffect(res *Result) analysis.WeekEffect {
+	return analysis.WeekdayWeekendEffect(res.Store, exporter.MetricHostCPUUtil, res.Config.Days)
+}
+
+// fixture runs one moderately sized 30-day experiment shared by every
+// fidelity test and benchmark in this package.
+var (
+	fixtureOnce sync.Once
+	fixtureRes  *Result
+	fixtureErr  error
+)
+
+func fixtureConfig() Config {
+	cfg := DefaultConfig(2024)
+	cfg.Scale = 0.04
+	cfg.VMs = 1500
+	cfg.Days = 30
+	cfg.SampleEvery = 15 * sim.Minute
+	cfg.VMSampleEvery = 3 * sim.Hour
+	return cfg
+}
+
+func fixture(tb testing.TB) *Result {
+	tb.Helper()
+	fixtureOnce.Do(func() {
+		fixtureRes, fixtureErr = Run(fixtureConfig())
+	})
+	if fixtureErr != nil {
+		tb.Fatal(fixtureErr)
+	}
+	return fixtureRes
+}
+
+func compute(tb testing.TB, id string) *Artifact {
+	tb.Helper()
+	exp, ok := ExperimentByID(id)
+	if !ok {
+		tb.Fatalf("experiment %s not registered", id)
+	}
+	art, err := exp.Compute(fixture(tb))
+	if err != nil {
+		tb.Fatalf("%s: %v", id, err)
+	}
+	return art
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"fig13", "fig14a", "fig14b", "fig15a", "fig15b",
+		"table1", "table2", "table3", "table4", "table5",
+	}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Errorf("experiment %d = %s, want %s", i, got[i].ID, id)
+		}
+		if got[i].Title == "" || got[i].PaperClaim == "" {
+			t.Errorf("experiment %s missing title or claim", id)
+		}
+	}
+	if _, ok := ExperimentByID("nope"); ok {
+		t.Error("unknown ID found")
+	}
+}
+
+func TestAllExperimentsCompute(t *testing.T) {
+	res := fixture(t)
+	for _, exp := range Experiments() {
+		art, err := exp.Compute(res)
+		if err != nil {
+			t.Errorf("%s: %v", exp.ID, err)
+			continue
+		}
+		if art.Text == "" {
+			t.Errorf("%s: empty artifact text", exp.ID)
+		}
+		if len(art.Values) == 0 {
+			t.Errorf("%s: no measured values", exp.ID)
+		}
+	}
+}
+
+// Fig. 5 fidelity: pronounced, persistent node imbalance.
+func TestFig5NodeImbalance(t *testing.T) {
+	art := compute(t, "fig5")
+	if art.Values["columns"] == 0 {
+		t.Fatal("empty heatmap")
+	}
+	if spread := art.Values["spread_pct"]; spread < 15 {
+		t.Errorf("free-CPU spread = %.1f pts, want pronounced imbalance (≥15)", spread)
+	}
+	if most := art.Values["most_free_pct"]; most < 80 {
+		t.Errorf("most-free node = %.1f%%, paper shows nodes >90%% free", most)
+	}
+}
+
+// Fig. 7: intra-BB imbalance exists even inside one building block.
+func TestFig7IntraBBImbalance(t *testing.T) {
+	art := compute(t, "fig7")
+	if art.Values["columns"] < 2 {
+		t.Skip("selected BB too small")
+	}
+	if spread := art.Values["spread_pct"]; spread <= 0 {
+		t.Errorf("intra-BB spread = %.2f, want positive", spread)
+	}
+}
+
+// Fig. 8: ready-time spikes beyond the 30 s threshold.
+func TestFig8ReadyTimeSpikes(t *testing.T) {
+	art := compute(t, "fig8")
+	if art.Values["max_ready_s"] < 30 {
+		t.Errorf("max ready time = %.1f s, paper shows spikes ≫30 s", art.Values["max_ready_s"])
+	}
+	if art.Values["nodes_above_30s"] < 1 {
+		t.Error("no node crosses the 30 s baseline")
+	}
+}
+
+// Fig. 9: low mean contention, maxima in the 10-40%+ band.
+func TestFig9ContentionBands(t *testing.T) {
+	art := compute(t, "fig9")
+	if mean := art.Values["overall_mean_pct"]; mean > 5 {
+		t.Errorf("overall mean contention = %.2f%%, paper keeps the mean below 5%%", mean)
+	}
+	if max := art.Values["max_contention_pct"]; max < 10 {
+		t.Errorf("max contention = %.2f%%, paper shows 10-40%%", max)
+	}
+	if art.Values["days_max_above_10pct"] < 5 {
+		t.Errorf("contention above 10%% on only %v days; the paper calls it persistent",
+			art.Values["days_max_above_10pct"])
+	}
+}
+
+// Fig. 10: memory shows a nearly-full subset (bin-packed HANA hosts).
+func TestFig10MemoryBimodal(t *testing.T) {
+	art := compute(t, "fig10")
+	if least := art.Values["least_free_pct"]; least > 40 {
+		t.Errorf("least-free node has %.1f%% free memory; paper shows nearly full hosts", least)
+	}
+	if most := art.Values["most_free_pct"]; most < 60 {
+		t.Errorf("most-free node has %.1f%% free memory; paper shows plentiful free hosts", most)
+	}
+}
+
+// Figs. 11/12: network never matters.
+func TestFig11Fig12NetworkIrrelevant(t *testing.T) {
+	for _, id := range []string{"fig11", "fig12"} {
+		art := compute(t, id)
+		if least := art.Values["least_free_pct"]; least < 99.0 {
+			t.Errorf("%s: least free bandwidth = %.3f%%, paper reports ≥99.75%%", id, least)
+		}
+	}
+}
+
+// Fig. 13: storage distribution headline numbers.
+func TestFig13StorageDistribution(t *testing.T) {
+	art := compute(t, "fig13")
+	if f := art.Values["frac_above_90_free"]; f < 0.02 || f > 0.6 {
+		t.Errorf("hosts >90%% free = %.2f, paper reports 18%%", f)
+	}
+	if f := art.Values["frac_above_30_used"]; f < 0.01 || f > 0.6 {
+		t.Errorf("hosts using >30%% = %.2f, paper reports 7%%", f)
+	}
+}
+
+// Fig. 14a: the overprovisioning headline (>80% of VMs below 70% CPU).
+func TestFig14aCPUOverprovisioned(t *testing.T) {
+	art := compute(t, "fig14a")
+	if under := art.Values["under"]; under < 0.75 {
+		t.Errorf("CPU under-utilized share = %.3f, paper reports >0.80", under)
+	}
+	if over := art.Values["over"]; over > 0.15 {
+		t.Errorf("CPU over-utilized share = %.3f, should be a small tail", over)
+	}
+}
+
+// Fig. 14b: memory materially better aligned than CPU.
+func TestFig14bMemoryBetterAligned(t *testing.T) {
+	cpu := compute(t, "fig14a")
+	mem := compute(t, "fig14b")
+	if mem.Values["under"] >= cpu.Values["under"] {
+		t.Errorf("memory under share %.3f should be below CPU's %.3f",
+			mem.Values["under"], cpu.Values["under"])
+	}
+	if mem.Values["over"] < 0.35 {
+		t.Errorf("memory over share = %.3f, paper reports ≈0.52", mem.Values["over"])
+	}
+	if u := mem.Values["under"]; u < 0.25 || u > 0.55 {
+		t.Errorf("memory under share = %.3f, paper reports ≈0.38", u)
+	}
+}
+
+// Fig. 15: lifetime median near one week, wide range, HANA long-lived.
+func TestFig15Lifetimes(t *testing.T) {
+	art := compute(t, "fig15a")
+	week := 168.0
+	if med := art.Values["median_hours"]; med < week/4 || med > week*4 {
+		t.Errorf("median lifetime = %.0f h, paper reports ≈1 week", med)
+	}
+	if art.Values["max_flavor_mean"] < 24*300 {
+		t.Errorf("longest-lived flavor mean = %.0f h, paper shows multi-year flavors",
+			art.Values["max_flavor_mean"])
+	}
+	if art.Values["min_flavor_mean"] > 24*10 {
+		t.Errorf("shortest-lived flavor mean = %.0f h, paper shows ~13 h flavors",
+			art.Values["min_flavor_mean"])
+	}
+	b := compute(t, "fig15b")
+	if b.Values["flavors"] != art.Values["flavors"] {
+		t.Errorf("15a and 15b flavor counts differ: %v vs %v",
+			art.Values["flavors"], b.Values["flavors"])
+	}
+}
+
+// Tables 1/2: class ordering must match the paper.
+func TestTables1And2ClassShares(t *testing.T) {
+	t1 := compute(t, "table1")
+	if !(t1.Values["Small"] > t1.Values["Medium"] &&
+		t1.Values["Medium"] > t1.Values["Large"] &&
+		t1.Values["Large"] >= t1.Values["Extra Large"]) {
+		t.Errorf("Table 1 ordering violated: %v", t1.Values)
+	}
+	t2 := compute(t, "table2")
+	if t2.Values["Medium"] < t2.Values["Small"]+t2.Values["Large"]+t2.Values["Extra Large"] {
+		t.Errorf("Table 2: medium RAM should dominate: %v", t2.Values)
+	}
+	if t2.Values["Extra Large"] <= t2.Values["Large"] {
+		t.Errorf("Table 2: XL (HANA) should exceed Large: %v", t2.Values)
+	}
+}
+
+func TestTable5Verbatim(t *testing.T) {
+	art := compute(t, "table5")
+	if art.Values["hypervisors_total"] < 6000 {
+		t.Errorf("hypervisors = %v", art.Values["hypervisors_total"])
+	}
+	if !strings.Contains(art.Text, "1072") || !strings.Contains(art.Text, "34392") {
+		t.Error("Table 5 rows missing published values")
+	}
+}
+
+// Fig. 8 discussion: "less workload and thus less contention on weekends
+// and more during the working days" — host CPU demand must dip on
+// weekends.
+func TestWeekendModulation(t *testing.T) {
+	res := fixture(t)
+	effect := analysisWeekEffect(res)
+	if math.IsNaN(effect.Dip) {
+		t.Fatal("no week effect computable")
+	}
+	if effect.Dip < 0.02 {
+		t.Errorf("weekend dip = %.3f, want a visible working-day pattern", effect.Dip)
+	}
+	if effect.WeekendDays < 8 { // 30 days contain 4+ weekends
+		t.Errorf("weekend days = %d", effect.WeekendDays)
+	}
+}
+
+func TestArtifactValuesFinite(t *testing.T) {
+	res := fixture(t)
+	for _, exp := range Experiments() {
+		art, err := exp.Compute(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range art.Values {
+			if math.IsInf(v, 0) {
+				t.Errorf("%s: value %s is infinite", exp.ID, k)
+			}
+		}
+	}
+}
