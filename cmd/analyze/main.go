@@ -122,7 +122,7 @@ func main() {
 	}
 }
 
-func printCDF(store *telemetry.Store, metric, title string, days int) {
+func printCDF(store telemetry.Querier, metric, title string, days int) {
 	cdf := analysis.VMMeanUsage(store, metric, 0, sim.Time(days)*sim.Day)
 	split := analysis.SplitUtilization(cdf)
 	fmt.Println(title + ":")

@@ -1,0 +1,3 @@
+module sapsim
+
+go 1.24

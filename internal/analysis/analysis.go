@@ -6,12 +6,51 @@ package analysis
 
 import (
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"sapsim/internal/sim"
 	"sapsim/internal/telemetry"
 	"sapsim/internal/vmmodel"
 )
+
+// mapSeries fans fn out over the series with a bounded worker pool and
+// returns the results in input order, so downstream merges stay
+// deterministic regardless of scheduling. Aggregations over the sharded
+// store are per-series independent, which makes this the one parallel
+// primitive every heatmap and pooled statistic needs.
+func mapSeries[T any](series []*telemetry.Series, fn func(*telemetry.Series) T) []T {
+	out := make([]T, len(series))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(series) {
+		workers = len(series)
+	}
+	if workers <= 1 {
+		for i, s := range series {
+			out[i] = fn(s)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(series) {
+					return
+				}
+				out[i] = fn(series[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
 
 // Heatmap is one of the paper's daily-average heatmaps: rows are days of
 // the observation window, columns are entities (nodes or building blocks)
@@ -45,6 +84,8 @@ func (h *Heatmap) ColumnMean(col int) float64 {
 
 // Transform maps a raw metric value to the plotted value; FreePercent is
 // the one used by every heatmap in the paper (free = 100 − used).
+// Transforms must be pure (safe for concurrent use): DailyHeatmap and
+// TopKByMax apply them from parallel workers.
 type Transform func(float64) float64
 
 // FreePercent converts a utilization percentage to free percentage.
@@ -56,18 +97,17 @@ func Identity(v float64) float64 { return v }
 // DailyHeatmap builds a heatmap of daily means of the metric, one column
 // per distinct value of entityLabel, sorted by descending overall mean
 // (most free first, matching the paper's column order).
-func DailyHeatmap(store *telemetry.Store, metric, entityLabel string, days int, tf Transform, matchers ...telemetry.Matcher) *Heatmap {
-	series := store.Select(metric, matchers...)
+func DailyHeatmap(q telemetry.Querier, metric, entityLabel string, days int, tf Transform, matchers ...telemetry.Matcher) *Heatmap {
+	series := q.Select(metric, matchers...)
 	type col struct {
 		name  string
 		cells []float64
 		mean  float64
 	}
-	var cols []col
-	for _, s := range series {
+	perSeries := mapSeries(series, func(s *telemetry.Series) *col {
 		name := s.Labels.Get(entityLabel)
 		if name == "" {
-			continue
+			return nil
 		}
 		stats := telemetry.DailyStats(s, days)
 		cells := make([]float64, days)
@@ -86,7 +126,13 @@ func DailyHeatmap(store *telemetry.Store, metric, entityLabel string, days int, 
 		if n > 0 {
 			mean = sum / float64(n)
 		}
-		cols = append(cols, col{name: name, cells: cells, mean: mean})
+		return &col{name: name, cells: cells, mean: mean}
+	})
+	cols := make([]col, 0, len(perSeries))
+	for _, c := range perSeries {
+		if c != nil {
+			cols = append(cols, *c)
+		}
 	}
 	sort.Slice(cols, func(i, j int) bool {
 		mi, mj := cols[i].mean, cols[j].mean
@@ -120,14 +166,15 @@ func DailyHeatmap(store *telemetry.Store, metric, entityLabel string, days int, 
 // GroupedHeatmap aggregates node-level series into group-level columns
 // (e.g. building blocks, Fig. 6) by averaging the daily means of member
 // series. groupOf maps an entity name to its group ("" skips the series).
-func GroupedHeatmap(store *telemetry.Store, metric, entityLabel string, days int, tf Transform, groupOf func(string) string) *Heatmap {
-	series := store.Select(metric)
-	type agg struct {
-		sum []float64
-		n   []int
-	}
-	groups := map[string]*agg{}
-	for _, s := range series {
+func GroupedHeatmap(q telemetry.Querier, metric, entityLabel string, days int, tf Transform, groupOf func(string) string) *Heatmap {
+	// Resolve group membership sequentially first (groupOf is caller
+	// code and not assumed goroutine-safe), so the parallel stats pass
+	// only touches series that survive the filter.
+	var (
+		kept       []*telemetry.Series
+		keptGroups []string
+	)
+	for _, s := range q.Select(metric) {
 		entity := s.Labels.Get(entityLabel)
 		if entity == "" {
 			continue
@@ -136,12 +183,30 @@ func GroupedHeatmap(store *telemetry.Store, metric, entityLabel string, days int
 		if g == "" {
 			continue
 		}
+		kept = append(kept, s)
+		keptGroups = append(keptGroups, g)
+	}
+	// Per-series daily stats in parallel; the group merge below runs
+	// sequentially in series order, keeping float accumulation
+	// deterministic.
+	perSeries := mapSeries(kept, func(s *telemetry.Series) []telemetry.DailyStat {
+		return telemetry.DailyStats(s, days)
+	})
+	type agg struct {
+		sum []float64
+		n   []int
+	}
+	groups := map[string]*agg{}
+	var groupOrder []string
+	for i := range kept {
+		g := keptGroups[i]
 		a, ok := groups[g]
 		if !ok {
 			a = &agg{sum: make([]float64, days), n: make([]int, days)}
 			groups[g] = a
+			groupOrder = append(groupOrder, g)
 		}
-		for d, st := range telemetry.DailyStats(s, days) {
+		for d, st := range perSeries[i] {
 			if st.N == 0 {
 				continue
 			}
@@ -154,8 +219,9 @@ func GroupedHeatmap(store *telemetry.Store, metric, entityLabel string, days int
 		cells []float64
 		mean  float64
 	}
-	var cols []col
-	for name, a := range groups {
+	cols := make([]col, 0, len(groups))
+	for _, name := range groupOrder {
+		a := groups[name]
 		cells := make([]float64, days)
 		total, cnt := 0.0, 0
 		for d := 0; d < days; d++ {
@@ -174,10 +240,19 @@ func GroupedHeatmap(store *telemetry.Store, metric, entityLabel string, days int
 		cols = append(cols, col{name: name, cells: cells, mean: mean})
 	}
 	sort.Slice(cols, func(i, j int) bool {
-		if cols[i].mean != cols[j].mean {
-			return cols[i].mean > cols[j].mean
+		mi, mj := cols[i].mean, cols[j].mean
+		switch {
+		case math.IsNaN(mi) && math.IsNaN(mj):
+			return cols[i].name < cols[j].name
+		case math.IsNaN(mi):
+			return false
+		case math.IsNaN(mj):
+			return true
+		case mi != mj:
+			return mi > mj
+		default:
+			return cols[i].name < cols[j].name
 		}
-		return cols[i].name < cols[j].name
 	})
 	h := &Heatmap{Metric: metric, Days: days}
 	for _, c := range cols {
@@ -204,19 +279,24 @@ type NodeStat struct {
 // TopKByMax returns the k nodes with the highest maximum of the metric
 // across the window, with per-node max/p95/mean — Figure 8's aggregation
 // (values converted by tf, e.g. ms → s).
-func TopKByMax(store *telemetry.Store, metric, entityLabel string, k int, tf Transform) []NodeStat {
-	var stats []NodeStat
-	for _, s := range store.Select(metric) {
+func TopKByMax(q telemetry.Querier, metric, entityLabel string, k int, tf Transform) []NodeStat {
+	perSeries := mapSeries(q.Select(metric), func(s *telemetry.Series) *NodeStat {
 		name := s.Labels.Get(entityLabel)
 		if name == "" || len(s.Samples) == 0 {
-			continue
+			return nil
 		}
-		stats = append(stats, NodeStat{
+		return &NodeStat{
 			Node: name,
 			Max:  tf(telemetry.Max(s.Samples)),
 			P95:  tf(telemetry.Percentile(s.Samples, 95)),
 			Mean: tf(telemetry.Mean(s.Samples)),
-		})
+		}
+	})
+	stats := make([]NodeStat, 0, len(perSeries))
+	for _, s := range perSeries {
+		if s != nil {
+			stats = append(stats, *s)
+		}
 	}
 	sort.Slice(stats, func(i, j int) bool {
 		if stats[i].Max != stats[j].Max {
@@ -242,15 +322,24 @@ type DailyAggregate struct {
 
 // DailyPooled pools every series of the metric per day and reports
 // mean/p95/max across all samples of all entities.
-func DailyPooled(store *telemetry.Store, metric string, days int) []DailyAggregate {
-	series := store.Select(metric)
+func DailyPooled(q telemetry.Querier, metric string, days int) []DailyAggregate {
+	series := q.Select(metric)
+	// Slice each series into its per-day windows in parallel (cheap
+	// aliasing subslices); pools are then concatenated in series order so
+	// the float accumulation is deterministic.
+	windows := mapSeries(series, func(s *telemetry.Series) [][]telemetry.Sample {
+		win := make([][]telemetry.Sample, days)
+		for d := 0; d < days; d++ {
+			from := sim.Time(d) * sim.Day
+			win[d] = s.Range(from, from+sim.Day)
+		}
+		return win
+	})
 	out := make([]DailyAggregate, days)
 	for d := 0; d < days; d++ {
-		from := sim.Time(d) * sim.Day
-		to := from + sim.Day
 		var pool []telemetry.Sample
-		for _, s := range series {
-			pool = append(pool, s.Range(from, to)...)
+		for i := range series {
+			pool = append(pool, windows[i][d]...)
 		}
 		a := DailyAggregate{Day: d, N: len(pool)}
 		if len(pool) == 0 {
@@ -335,10 +424,13 @@ func SplitUtilization(c *CDF) UtilizationSplit {
 
 // VMMeanUsage computes each VM's mean usage ratio over the window from the
 // vROps VM metrics and returns the population CDF (Fig. 14).
-func VMMeanUsage(store *telemetry.Store, metric string, from, to sim.Time) *CDF {
-	var means []float64
-	for _, s := range store.Select(metric) {
-		if m := telemetry.MeanOverRange(s, from, to); !math.IsNaN(m) {
+func VMMeanUsage(q telemetry.Querier, metric string, from, to sim.Time) *CDF {
+	perSeries := mapSeries(q.Select(metric), func(s *telemetry.Series) float64 {
+		return telemetry.MeanOverRange(s, from, to)
+	})
+	means := make([]float64, 0, len(perSeries))
+	for _, m := range perSeries {
+		if !math.IsNaN(m) {
 			means = append(means, m)
 		}
 	}

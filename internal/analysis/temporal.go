@@ -35,8 +35,8 @@ type WeekEffect struct {
 
 // WeekdayWeekendEffect pools all series of a metric per day and compares
 // weekday and weekend means.
-func WeekdayWeekendEffect(store *telemetry.Store, metric string, days int) WeekEffect {
-	daily := DailyPooled(store, metric, days)
+func WeekdayWeekendEffect(q telemetry.Querier, metric string, days int) WeekEffect {
+	daily := DailyPooled(q, metric, days)
 	var e WeekEffect
 	wdSum, weSum := 0.0, 0.0
 	for _, d := range daily {

@@ -362,10 +362,14 @@ func resizeTarget(current *vmmodel.Flavor, rng *rand.Rand) *vmmodel.Flavor {
 	return candidates[rng.IntN(len(candidates))]
 }
 
-// sampler writes telemetry into the result store.
+// sampler writes telemetry into the result store through a batched
+// appender: each sampling sweep buffers every (metric, host/VM) sample and
+// lands in one commit — one lock acquisition per touched shard instead of
+// one per sample.
 type sampler struct {
 	res *Result
 	cfg Config
+	app *telemetry.Appender
 	// hostLabels caches label sets; label construction dominates
 	// otherwise.
 	hostLabels map[topology.NodeID]telemetry.Labels
@@ -376,6 +380,7 @@ func newSampler(res *Result, cfg Config) *sampler {
 	return &sampler{
 		res:        res,
 		cfg:        cfg,
+		app:        res.Store.Appender(),
 		hostLabels: make(map[topology.NodeID]telemetry.Labels),
 		vmLabels:   make(map[vmmodel.ID]telemetry.Labels),
 	}
@@ -396,7 +401,6 @@ func (s *sampler) labelsFor(h *esx.Host) telemetry.Labels {
 
 func (s *sampler) sampleHosts(now sim.Time) {
 	interval := s.cfg.SampleEvery
-	store := s.res.Store
 	for _, h := range s.res.Fleet.Hosts() {
 		if h.Node.Maintenance {
 			continue
@@ -404,9 +408,7 @@ func (s *sampler) sampleHosts(now sim.Time) {
 		l := s.labelsFor(h)
 		m := h.Snapshot(now, interval)
 		app := func(metric string, v float64) {
-			// Out-of-order cannot occur: the ticker is strictly
-			// monotonic. Ignore the error to keep the hot path lean.
-			_ = store.Append(metric, l, now, v)
+			s.app.Append(metric, l, now, v)
 		}
 		app(exporter.MetricHostCPUUtil, m.CPUUtilPct)
 		app(exporter.MetricHostMemUsage, m.MemUsagePct)
@@ -421,10 +423,12 @@ func (s *sampler) sampleHosts(now sim.Time) {
 			s.res.Scheduler.SetContention(h.Node.BB.ID, m.CPUContentionPct)
 		}
 	}
+	// Out-of-order cannot occur: the ticker is strictly monotonic. Ignore
+	// the error to keep the hot path lean.
+	_, _ = s.app.Commit()
 }
 
 func (s *sampler) sampleVMs(now sim.Time, live map[vmmodel.ID]*vmmodel.VM) {
-	store := s.res.Store
 	fleet := s.res.Fleet
 	// Snapshot host contention once per host for throttling.
 	contention := make(map[topology.NodeID]float64)
@@ -450,8 +454,9 @@ func (s *sampler) sampleVMs(now sim.Time, live map[vmmodel.ID]*vmmodel.VM) {
 			s.vmLabels[vm.ID] = l
 		}
 		u := h.VMSnapshot(vm, now, s.cfg.VMSampleEvery, contention[vm.Node.ID])
-		_ = store.Append(exporter.MetricVMCPURatio, l, now, u.CPUUsageRatio)
-		_ = store.Append(exporter.MetricVMMemRatio, l, now, u.MemUsageRatio)
+		s.app.Append(exporter.MetricVMCPURatio, l, now, u.CPUUsageRatio)
+		s.app.Append(exporter.MetricVMMemRatio, l, now, u.MemUsageRatio)
 	}
-	_ = store.Append(exporter.MetricInstancesTotal, telemetry.Labels{}, now, float64(len(live)))
+	s.app.Append(exporter.MetricInstancesTotal, telemetry.Labels{}, now, float64(len(live)))
+	_, _ = s.app.Commit()
 }

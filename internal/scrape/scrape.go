@@ -144,18 +144,19 @@ func (s *Scraper) ScrapeTarget(url string, now sim.Time) (int, error) {
 	return s.Ingest(resp.Body, now)
 }
 
-// Ingest parses exposition text and appends the samples at time now.
+// Ingest parses exposition text and appends the samples at time now. The
+// whole scrape is batched through one Appender commit, taking each store
+// shard lock once instead of once per sample. Samples that fail the
+// out-of-order check are dropped and excluded from the returned count;
+// the rest of the scrape still lands.
 func (s *Scraper) Ingest(r io.Reader, now sim.Time) (int, error) {
 	samples, err := Parse(r)
 	if err != nil {
 		return 0, err
 	}
-	n := 0
+	app := s.Store.Appender()
 	for _, smp := range samples {
-		if err := s.Store.Append(smp.Name, smp.Labels, now, smp.Value); err != nil {
-			return n, err
-		}
-		n++
+		app.Append(smp.Name, smp.Labels, now, smp.Value)
 	}
-	return n, nil
+	return app.Commit()
 }

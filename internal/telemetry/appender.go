@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"errors"
+
+	"sapsim/internal/sim"
+)
+
+// pendingSample is one buffered write, pre-hashed at Append time so Commit
+// only routes and applies.
+type pendingSample struct {
+	metric string
+	labels Labels
+	hash   uint64
+	t      sim.Time
+	v      float64
+}
+
+// Appender batches writes to the store, Telegraf-style: callers buffer a
+// sampling sweep (or a whole scrape) and Commit applies it with one lock
+// acquisition per touched shard, instead of one per sample. An Appender is
+// not safe for concurrent use; give each writer goroutine its own.
+type Appender struct {
+	st      *Store
+	buf     [shardCount][]pendingSample
+	pending int
+}
+
+// Appender returns a new batch writer bound to the store.
+func (st *Store) Appender() *Appender {
+	return &Appender{st: st}
+}
+
+// Append buffers one sample. Nothing is visible to readers until Commit.
+func (a *Appender) Append(metric string, labels Labels, t sim.Time, v float64) {
+	hash := hashSeries(metric, labels)
+	i := hash & (shardCount - 1)
+	a.buf[i] = append(a.buf[i], pendingSample{metric: metric, labels: labels, hash: hash, t: t, v: v})
+	a.pending++
+}
+
+// Pending reports the number of buffered samples.
+func (a *Appender) Pending() int { return a.pending }
+
+// Commit flushes the buffer and reports how many samples landed. Samples
+// apply in per-shard append order; each shard lock is taken exactly once.
+// Out-of-order samples are rejected individually — the rest of the batch
+// still lands — and reported joined. The buffer is reusable after Commit
+// regardless of errors.
+func (a *Appender) Commit() (int, error) {
+	applied := 0
+	var errs []error
+	for i := range a.buf {
+		pend := a.buf[i]
+		if len(pend) == 0 {
+			continue
+		}
+		sh := &a.st.shards[i]
+		sh.mu.Lock()
+		for _, p := range pend {
+			s := a.st.getOrCreate(sh, p.hash, p.metric, p.labels)
+			if err := s.appendSample(p.t, p.v); err != nil {
+				errs = append(errs, err)
+			} else {
+				applied++
+			}
+		}
+		sh.mu.Unlock()
+		a.buf[i] = pend[:0]
+	}
+	a.pending = 0
+	return applied, errors.Join(errs...)
+}

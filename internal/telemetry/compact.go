@@ -7,29 +7,40 @@ import (
 // Compaction mirrors the long-term-storage role Thanos plays above
 // Prometheus in the paper's monitoring stack (Sec. 4): raw high-resolution
 // samples are kept for a recent window, while older data is downsampled to
-// coarse means so month-scale queries stay cheap.
+// coarse means so month-scale queries stay cheap. Both retention passes
+// work shard-by-shard, holding each shard's write lock exactly once, and
+// always replace sample slices wholesale so outstanding Select snapshots
+// keep observing the pre-compaction data.
 
 // DropBefore removes all samples strictly older than cutoff, enforcing a
 // retention limit. It reports the number of samples removed. Series left
-// empty are removed from the store.
+// empty are removed from the store and unlinked from every index.
 func (st *Store) DropBefore(cutoff sim.Time) int {
-	st.mu.Lock()
-	defer st.mu.Unlock()
 	removed := 0
-	for fp, s := range st.series {
-		n := 0
-		for n < len(s.Samples) && s.Samples[n].T < cutoff {
-			n++
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		var dead []*memSeries
+		for _, chain := range sh.series {
+			for _, s := range chain {
+				n := 0
+				for n < len(s.samples) && s.samples[n].T < cutoff {
+					n++
+				}
+				if n == 0 {
+					continue
+				}
+				removed += n
+				s.samples = append([]Sample(nil), s.samples[n:]...)
+				if len(s.samples) == 0 {
+					dead = append(dead, s)
+				}
+			}
 		}
-		if n == 0 {
-			continue
+		for _, s := range dead {
+			st.removeSeries(sh, s)
 		}
-		removed += n
-		s.Samples = append([]Sample(nil), s.Samples[n:]...)
-		if len(s.Samples) == 0 {
-			delete(st.series, fp)
-			st.order = deleteFP(st.order, fp)
-		}
+		sh.mu.Unlock()
 	}
 	return removed
 }
@@ -43,36 +54,32 @@ func (st *Store) Compact(olderThan sim.Time, step sim.Time) int {
 	if step <= 0 {
 		return 0
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
 	reduced := 0
-	for _, s := range st.series {
-		cut := 0
-		for cut < len(s.Samples) && s.Samples[cut].T < olderThan {
-			cut++
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for _, chain := range sh.series {
+			for _, s := range chain {
+				cut := 0
+				for cut < len(s.samples) && s.samples[cut].T < olderThan {
+					cut++
+				}
+				if cut == 0 {
+					continue
+				}
+				old := &Series{Samples: s.samples[:cut]}
+				ds := Downsample(old, step)
+				if len(ds) >= cut {
+					continue // nothing gained
+				}
+				merged := make([]Sample, 0, len(ds)+len(s.samples)-cut)
+				merged = append(merged, ds...)
+				merged = append(merged, s.samples[cut:]...)
+				reduced += len(s.samples) - len(merged)
+				s.samples = merged
+			}
 		}
-		if cut == 0 {
-			continue
-		}
-		old := &Series{Samples: s.Samples[:cut]}
-		ds := Downsample(old, step)
-		if len(ds) >= cut {
-			continue // nothing gained
-		}
-		merged := make([]Sample, 0, len(ds)+len(s.Samples)-cut)
-		merged = append(merged, ds...)
-		merged = append(merged, s.Samples[cut:]...)
-		reduced += len(s.Samples) - len(merged)
-		s.Samples = merged
+		sh.mu.Unlock()
 	}
 	return reduced
-}
-
-func deleteFP(order []string, fp string) []string {
-	for i, v := range order {
-		if v == fp {
-			return append(order[:i], order[i+1:]...)
-		}
-	}
-	return order
 }

@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"testing"
 
@@ -98,6 +100,133 @@ func TestCompactReducesAndPreservesDailyMeans(t *testing.T) {
 	l := MustLabels("node", "n1")
 	if err := st.Append("cpu", l, 11*sim.Day, 1); err != nil {
 		t.Errorf("append after compact: %v", err)
+	}
+}
+
+// fillMultiShard spreads series over metrics and nodes so every retention
+// test below exercises multiple shards.
+func fillMultiShard(t *testing.T) *Store {
+	t.Helper()
+	st := NewStore()
+	app := st.Appender()
+	for _, metric := range []string{"cpu", "mem", "net"} {
+		for n := 0; n < 32; n++ {
+			l := MustLabels("node", fmt.Sprintf("n%02d", n))
+			for i := 0; i < 48; i++ { // 2 days hourly
+				app.Append(metric, l, sim.Time(i)*sim.Hour, float64(i))
+			}
+		}
+	}
+	if _, err := app.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestDropBeforeIndexConsistency: after retention deletes whole series, the
+// postings and label-value indexes must agree — Metrics goes empty, Select
+// by metric and by matcher find nothing, and recreation works.
+func TestDropBeforeIndexConsistency(t *testing.T) {
+	st := fillMultiShard(t)
+	if got := len(st.Metrics()); got != 3 {
+		t.Fatalf("Metrics = %d, want 3", got)
+	}
+	st.DropBefore(48 * sim.Hour) // everything
+	if st.SeriesCount() != 0 || st.SampleCount() != 0 {
+		t.Errorf("store not empty: %d series, %d samples", st.SeriesCount(), st.SampleCount())
+	}
+	if got := st.Metrics(); len(got) != 0 {
+		t.Errorf("Metrics after full drop = %v, want none (stale postings)", got)
+	}
+	for _, metric := range []string{"cpu", "mem", "net"} {
+		if got := st.Select(metric); len(got) != 0 {
+			t.Errorf("Select(%s) after full drop = %d series (stale postings)", metric, len(got))
+		}
+		if got := st.Select(metric, Matcher{"node", "n00"}); len(got) != 0 {
+			t.Errorf("matcher Select(%s) after full drop = %d series (stale label index)", metric, len(got))
+		}
+	}
+	// Recreation re-indexes from scratch.
+	if err := st.Append("cpu", MustLabels("node", "n00"), 100*sim.Hour, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Select("cpu", Matcher{"node", "n00"}); len(got) != 1 {
+		t.Errorf("recreated series not indexed: %d", len(got))
+	}
+}
+
+// TestDropBeforePartialKeepsIndexes: dropping only part of the window must
+// leave every series selectable through both indexes.
+func TestDropBeforePartialKeepsIndexes(t *testing.T) {
+	st := fillMultiShard(t)
+	removed := st.DropBefore(24 * sim.Hour)
+	if want := 3 * 32 * 24; removed != want {
+		t.Errorf("removed %d, want %d", removed, want)
+	}
+	for _, metric := range []string{"cpu", "mem", "net"} {
+		if got := st.Select(metric); len(got) != 32 {
+			t.Errorf("Select(%s) = %d series, want 32", metric, len(got))
+		}
+	}
+	got := st.Select("mem", Matcher{"node", "n17"})
+	if len(got) != 1 || got[0].Samples[0].T != 24*sim.Hour {
+		t.Errorf("matcher select after partial drop wrong: %v", got)
+	}
+}
+
+// TestCompactIndexConsistency: compaction rewrites samples but must leave
+// every index entry intact, and the store appendable across shards.
+func TestCompactIndexConsistency(t *testing.T) {
+	st := fillMultiShard(t)
+	before := st.SeriesCount()
+	reduced := st.Compact(48*sim.Hour, sim.Day)
+	if reduced <= 0 {
+		t.Fatal("compaction reduced nothing")
+	}
+	if st.SeriesCount() != before {
+		t.Errorf("compaction changed series count: %d -> %d", before, st.SeriesCount())
+	}
+	for _, metric := range []string{"cpu", "mem", "net"} {
+		series := st.Select(metric)
+		if len(series) != 32 {
+			t.Fatalf("Select(%s) = %d series after compact, want 32", metric, len(series))
+		}
+		for _, s := range series {
+			if len(s.Samples) != 2 { // 2 days → 2 daily means
+				t.Fatalf("%s%s has %d samples, want 2", metric, s.Labels, len(s.Samples))
+			}
+		}
+	}
+	if got := st.Select("net", Matcher{"node", "n31"}); len(got) != 1 {
+		t.Errorf("label index broken after compact: %d", len(got))
+	}
+}
+
+// TestOutOfOrderAcrossShardsAfterRetention: the out-of-order guard must
+// hold on compacted timelines in every shard.
+func TestOutOfOrderAcrossShardsAfterRetention(t *testing.T) {
+	st := fillMultiShard(t)
+	st.Compact(48*sim.Hour, sim.Day)
+	app := st.Appender()
+	for n := 0; n < 32; n++ {
+		l := MustLabels("node", fmt.Sprintf("n%02d", n))
+		// Last compacted sample anchors at t=1d; t=0 is in the past.
+		app.Append("cpu", l, 0, 1)
+	}
+	applied, err := app.Commit()
+	if !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("stale appends accepted: applied=%d err=%v", applied, err)
+	}
+	if applied != 0 {
+		t.Errorf("applied = %d stale samples, want 0", applied)
+	}
+	// Fresh timestamps are fine everywhere.
+	for n := 0; n < 32; n++ {
+		l := MustLabels("node", fmt.Sprintf("n%02d", n))
+		app.Append("cpu", l, 3*sim.Day, 1)
+	}
+	if applied, err := app.Commit(); err != nil || applied != 32 {
+		t.Errorf("fresh appends after compaction: applied=%d err=%v", applied, err)
 	}
 }
 

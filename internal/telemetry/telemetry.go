@@ -4,10 +4,13 @@
 // simulator, and answers the range queries and aggregations the paper's
 // analysis requires (daily means, p95, max over node and VM populations).
 //
-// The store is deliberately simple — dense slices of samples per series —
-// because a 30-day simulated window at 30 s..300 s resolution over a few
-// hundred nodes fits comfortably in memory, just as the paper's regional
-// slice fits a Thanos deployment.
+// The store is sharded: series are distributed over a fixed number of
+// shards by a 64-bit FNV-1a fingerprint of (metric, labels), each shard
+// keeping its own lock, a metric→series postings index, and a label-value
+// index, so concurrent ingestion scales with shard count and Select walks
+// only candidate series instead of the whole store. Batch ingestion goes
+// through an Appender (one lock acquisition per shard per flush); reads
+// receive immutable snapshots.
 package telemetry
 
 import (
@@ -15,7 +18,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"sapsim/internal/sim"
 )
@@ -93,6 +95,19 @@ func (l Labels) Pairs() []string {
 	return append([]string(nil), l.kv...)
 }
 
+// Equal reports whether two label sets are identical.
+func (l Labels) Equal(o Labels) bool {
+	if len(l.kv) != len(o.kv) {
+		return false
+	}
+	for i, s := range l.kv {
+		if o.kv[i] != s {
+			return false
+		}
+	}
+	return true
+}
+
 // String renders the label set in Prometheus selector syntax.
 func (l Labels) String() string {
 	var b strings.Builder
@@ -107,7 +122,46 @@ func (l Labels) String() string {
 	return b.String()
 }
 
-// fingerprint is a canonical map key for (metric, labels).
+// 64-bit FNV-1a. Series are keyed by this hash; the string fingerprint
+// below survives only for collision diagnostics and debug output.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// hashSeries fingerprints (metric, labels) with a 0xff separator between
+// components, mirroring the old string fingerprint without allocating.
+func hashSeries(metric string, l Labels) uint64 {
+	h := fnvString(fnvOffset64, metric)
+	for _, s := range l.kv {
+		h ^= 0xff
+		h *= fnvPrime64
+		h = fnvString(h, s)
+	}
+	return h
+}
+
+// hashLabels fingerprints a label set alone (for interning).
+func hashLabels(l Labels) uint64 {
+	h := uint64(fnvOffset64)
+	for _, s := range l.kv {
+		h ^= 0xff
+		h *= fnvPrime64
+		h = fnvString(h, s)
+	}
+	return h
+}
+
+// fingerprint is the human-readable series key, kept for debug paths only
+// (the store keys series by hashSeries).
 func fingerprint(metric string, l Labels) string {
 	var b strings.Builder
 	b.WriteString(metric)
@@ -119,7 +173,8 @@ func fingerprint(metric string, l Labels) string {
 }
 
 // Series is one time series: a metric name, a label set, and samples in
-// strictly increasing time order.
+// strictly increasing time order. Series returned by Store.Select are
+// immutable snapshots: later appends or compactions never mutate them.
 type Series struct {
 	Metric  string
 	Labels  Labels
@@ -150,105 +205,4 @@ func (s *Series) At(t sim.Time) (float64, bool) {
 		return 0, false
 	}
 	return s.Samples[i-1].V, true
-}
-
-// Store holds many series and is safe for concurrent use (the exporter
-// scrape path and the simulator may interleave).
-type Store struct {
-	mu     sync.RWMutex
-	series map[string]*Series
-	order  []string // insertion order of fingerprints, for deterministic iteration
-}
-
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{series: make(map[string]*Series)}
-}
-
-// ErrOutOfOrder is returned when appending a sample at or before the last
-// timestamp of its series.
-var ErrOutOfOrder = errors.New("telemetry: out-of-order sample")
-
-// Append adds a sample to the series identified by (metric, labels),
-// creating it on first use.
-func (st *Store) Append(metric string, labels Labels, t sim.Time, v float64) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	fp := fingerprint(metric, labels)
-	s, ok := st.series[fp]
-	if !ok {
-		s = &Series{Metric: metric, Labels: labels}
-		st.series[fp] = s
-		st.order = append(st.order, fp)
-	}
-	if n := len(s.Samples); n > 0 && s.Samples[n-1].T >= t {
-		return fmt.Errorf("%w: %s t=%v last=%v", ErrOutOfOrder, metric, t, s.Samples[n-1].T)
-	}
-	s.Samples = append(s.Samples, Sample{T: t, V: v})
-	return nil
-}
-
-// Matcher restricts a selection to series whose label equals a value.
-type Matcher struct {
-	Name  string
-	Value string
-}
-
-// Select returns all series of the metric whose labels satisfy every
-// matcher, in deterministic (insertion) order.
-func (st *Store) Select(metric string, matchers ...Matcher) []*Series {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	var out []*Series
-	for _, fp := range st.order {
-		s := st.series[fp]
-		if s.Metric != metric {
-			continue
-		}
-		ok := true
-		for _, m := range matchers {
-			if s.Labels.Get(m.Name) != m.Value {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			out = append(out, s)
-		}
-	}
-	return out
-}
-
-// Metrics returns the distinct metric names in the store, sorted.
-func (st *Store) Metrics() []string {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	seen := map[string]bool{}
-	var out []string
-	for _, s := range st.series {
-		if !seen[s.Metric] {
-			seen[s.Metric] = true
-			out = append(out, s.Metric)
-		}
-	}
-	sort.Strings(out)
-	return out
-}
-
-// SeriesCount reports the number of stored series.
-func (st *Store) SeriesCount() int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return len(st.series)
-}
-
-// SampleCount reports the total number of stored samples.
-func (st *Store) SampleCount() int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	n := 0
-	for _, s := range st.series {
-		n += len(s.Samples)
-	}
-	return n
 }

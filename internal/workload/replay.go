@@ -72,12 +72,12 @@ const (
 // "flavor" label, arrival at the first sample, and lifetime spanning the
 // recorded window (VMs observed until the end are treated as surviving the
 // horizon).
-func BuildReplay(store *telemetry.Store, horizon sim.Time) ([]*Instance, error) {
-	cpu := store.Select(replayCPUMetric)
+func BuildReplay(q telemetry.Querier, horizon sim.Time) ([]*Instance, error) {
+	cpu := q.Select(replayCPUMetric)
 	if len(cpu) == 0 {
 		return nil, fmt.Errorf("workload: store has no %s series", replayCPUMetric)
 	}
-	mem := store.Select(replayMemMetric)
+	mem := q.Select(replayMemMetric)
 	memByVM := make(map[string]*telemetry.Series, len(mem))
 	for _, s := range mem {
 		memByVM[s.Labels.Get("virtualmachine")] = s

@@ -19,6 +19,7 @@ package sapsim
 
 import (
 	"fmt"
+	"sort"
 
 	"sapsim/internal/analysis"
 	"sapsim/internal/core"
@@ -454,17 +455,12 @@ func lifetimeExperiment(id string, byRAM bool) func(res *Result) (*Artifact, err
 }
 
 func sortByRAMClass(rows []analysis.FlavorLifetime) {
-	// Insertion sort by (RAMClass, flavor name): tiny input.
-	for i := 1; i < len(rows); i++ {
-		for j := i; j > 0; j-- {
-			a, b := rows[j-1], rows[j]
-			if b.RAMClass < a.RAMClass || (b.RAMClass == a.RAMClass && b.Flavor.Name < a.Flavor.Name) {
-				rows[j-1], rows[j] = b, a
-			} else {
-				break
-			}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].RAMClass != rows[j].RAMClass {
+			return rows[i].RAMClass < rows[j].RAMClass
 		}
-	}
+		return rows[i].Flavor.Name < rows[j].Flavor.Name
+	})
 }
 
 func classArtifact(id, title string, res *Result, classify func(*vmmodel.Flavor) vmmodel.SizeClass, bounds []string) *Artifact {
