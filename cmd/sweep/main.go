@@ -1,0 +1,143 @@
+// Command sweep runs a (scenario × scheduler-config × seed) matrix across a
+// bounded worker pool and prints a comparative report of per-scenario
+// deltas against the baseline for the headline artifacts: packing
+// efficiency, scheduling latency proxy, and migration counts.
+//
+// Usage:
+//
+//	sweep [-scale F] [-vms N] [-days N] [-sample D] \
+//	      [-scenarios a,b,...] [-variants x,y,...] [-seeds 7,11,...] \
+//	      [-workers N] [-out DIR] [-list]
+//
+// Scenario and variant names come from the builtin libraries; -list prints
+// them. Runs are fully deterministic per seed, independent of -workers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"sapsim/internal/core"
+	"sapsim/internal/scenario"
+	"sapsim/internal/sim"
+)
+
+func main() {
+	var (
+		scale     = flag.Float64("scale", 0.02, "region scale (1.0 = 1,823 hypervisors)")
+		vms       = flag.Int("vms", 960, "initial VM population per run")
+		days      = flag.Int("days", 10, "observation window in days")
+		sample    = flag.Duration("sample", 15*time.Minute, "host sampling interval")
+		scenarios = flag.String("scenarios", "", "comma-separated scenario names (default: all builtin)")
+		variants  = flag.String("variants", "default", "comma-separated variant names (\"all\" = every builtin)")
+		seeds     = flag.String("seeds", "2024", "comma-separated seeds")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		out       = flag.String("out", "", "directory for report.txt and runs.csv")
+		list      = flag.Bool("list", false, "list builtin scenarios and variants, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("scenarios:")
+		for _, sc := range scenario.Builtin() {
+			fmt.Printf("  %-18s %s\n", sc.Name, sc.Description)
+		}
+		fmt.Println("variants:")
+		for _, v := range scenario.BuiltinVariants() {
+			fmt.Printf("  %s\n", v.Name)
+		}
+		return
+	}
+
+	base := core.DefaultConfig(2024)
+	base.Scale = *scale
+	base.VMs = *vms
+	base.Days = *days
+	base.SampleEvery = sim.Time(*sample)
+
+	m := scenario.Matrix{Base: base, Workers: *workers}
+
+	if *scenarios == "" {
+		m.Scenarios = scenario.Builtin()
+	} else {
+		for _, name := range splitList(*scenarios) {
+			sc, err := scenario.ByName(name)
+			if err != nil {
+				fatal(err)
+			}
+			m.Scenarios = append(m.Scenarios, sc)
+		}
+	}
+
+	if *variants == "all" {
+		m.Variants = scenario.BuiltinVariants()
+	} else {
+		for _, name := range splitList(*variants) {
+			v, err := scenario.VariantByName(name)
+			if err != nil {
+				fatal(err)
+			}
+			m.Variants = append(m.Variants, v)
+		}
+	}
+
+	for _, s := range splitList(*seeds) {
+		seed, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad seed %q: %w", s, err))
+		}
+		m.Seeds = append(m.Seeds, seed)
+	}
+
+	total := len(m.Scenarios) * len(m.Variants) * len(m.Seeds)
+	fmt.Printf("sweeping %d scenarios x %d variants x %d seeds = %d runs (scale %.2f, %d VMs, %d days)\n",
+		len(m.Scenarios), len(m.Variants), len(m.Seeds), total, *scale, *vms, *days)
+	start := time.Now()
+	res, err := scenario.Sweep(m)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("completed in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	text := scenario.Comparative(res)
+	fmt.Print(text)
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(*out, "report.txt"), []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(*out, "runs.csv"), []byte(scenario.RunsCSV(res)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s and %s\n", filepath.Join(*out, "report.txt"), filepath.Join(*out, "runs.csv"))
+	}
+
+	for _, r := range res.Runs {
+		if r.Err != "" {
+			fatal(fmt.Errorf("run %s/%s seed %d: %s", r.Key.Scenario, r.Key.Variant, r.Key.Seed, r.Err))
+		}
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+package sapsim
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden artifact digests")
+
+const goldenPath = "testdata/artifact_digests.txt"
+
+// goldenConfig is DefaultConfig(42) at reduced scale: small enough for
+// tier-1, large enough that every artifact has real content.
+func goldenConfig() Config {
+	cfg := DefaultConfig(42)
+	cfg.Scale = 0.02
+	cfg.VMs = 960
+	cfg.Days = 10
+	return cfg
+}
+
+// TestGoldenArtifacts pins SHA-256 digests of all 18 experiment artifacts
+// for DefaultConfig(42) at reduced scale. The simulation is deterministic
+// per seed, so any refactor that drifts the paper reproduction — by one
+// byte — fails here. Intentional changes re-bless the goldens with
+// `go test -run TestGoldenArtifacts -update .`.
+func TestGoldenArtifacts(t *testing.T) {
+	res, err := Run(goldenConfig())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := make(map[string]string)
+	var order []string
+	for _, exp := range Experiments() {
+		art, err := exp.Compute(res)
+		if err != nil {
+			t.Fatalf("%s: %v", exp.ID, err)
+		}
+		got[exp.ID] = fmt.Sprintf("%x", sha256.Sum256([]byte(art.Text)))
+		order = append(order, exp.ID)
+	}
+	if len(order) != 18 {
+		t.Fatalf("expected 18 experiment artifacts, got %d", len(order))
+	}
+
+	if *updateGolden {
+		var b strings.Builder
+		for _, id := range order {
+			fmt.Fprintf(&b, "%s %s\n", id, got[id])
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d digests", goldenPath, len(order))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading goldens (run with -update to create them): %v", err)
+	}
+	want := make(map[string]string)
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		id, sum, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		want[id] = sum
+	}
+	if len(want) != len(order) {
+		t.Errorf("golden file has %d digests, run produced %d", len(want), len(order))
+	}
+	for _, id := range order {
+		if want[id] == "" {
+			t.Errorf("%s: no golden digest (run with -update after verifying the change)", id)
+			continue
+		}
+		if got[id] != want[id] {
+			t.Errorf("%s: artifact drifted: digest %s, golden %s", id, got[id], want[id])
+		}
+	}
+}

@@ -71,6 +71,15 @@ type Config struct {
 	// a 30-day window (resize is one of the dataset's scheduling-relevant
 	// events). Zero disables resizes.
 	ResizeRate float64
+	// ArrivalPhases modulate the generated churn arrival process (demand
+	// surges, lulls, flavor-mix shifts). Empty keeps the base workload —
+	// and its RNG draw sequence — byte-identical.
+	ArrivalPhases []workload.Phase
+	// Injectors are scenario hooks invoked after the simulation is
+	// assembled but before the engine runs; each may schedule
+	// operational events (host failures, drains, resize waves) onto the
+	// engine. See internal/scenario for the declarative layer on top.
+	Injectors []Injector
 }
 
 // DefaultConfig returns a laptop-scale replica of the paper's setup: 5% of
@@ -110,6 +119,9 @@ type Result struct {
 	// DRSMigrations and CrossBBMoves count rebalancing activity.
 	DRSMigrations int
 	CrossBBMoves  int
+	// DRS is the intra-BB rebalancer instance (nil when Config.DRS is
+	// off); injectors may attach observation hooks to it.
+	DRS *drs.DRS
 	// Resizes counts completed resize operations.
 	Resizes int
 	// Events is the scheduling-relevant event stream (Sec. 4).
@@ -177,6 +189,7 @@ func Run(cfg Config) (*Result, error) {
 
 	spec := workload.DefaultSpec(cfg.VMs, cfg.Seed)
 	spec.Horizon = cfg.Horizon()
+	spec.Phases = cfg.ArrivalPhases
 	instances := workload.NewGenerator(spec).Generate()
 
 	engine := sim.NewEngine()
@@ -261,6 +274,7 @@ func Run(cfg Config) (*Result, error) {
 			every = sim.Hour
 		}
 		rebalancer = drs.New(fleet, drs.DefaultConfig())
+		res.DRS = rebalancer
 		rebalancer.OnMigrate = func(vm *vmmodel.VM, from, to *topology.Node, now sim.Time) {
 			record(events.Event{At: now, Type: events.MigrateIntraBB,
 				VM: string(vm.ID), Flavor: vm.Flavor.Name,
@@ -302,7 +316,7 @@ func Run(cfg Config) (*Result, error) {
 				if vm == nil {
 					return
 				}
-				target := resizeTarget(vm.Flavor, rng)
+				target := vmmodel.ResizeTarget(vm.Flavor, rng)
 				if target == nil {
 					continue
 				}
@@ -316,6 +330,21 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}); err != nil {
 			return nil, err
+		}
+	}
+
+	// Scenario injectors run last so the steady-state wiring above is
+	// complete when they schedule their operational events.
+	if len(cfg.Injectors) > 0 {
+		env := &Env{
+			Engine: engine, Config: cfg, Region: region, Fleet: fleet,
+			Scheduler: sched, Result: res, live: live, record: record,
+			down: make(map[topology.NodeID]int),
+		}
+		for _, inj := range cfg.Injectors {
+			if err := inj.Inject(env); err != nil {
+				return nil, fmt.Errorf("core: injector %s: %w", inj.Name(), err)
+			}
 		}
 	}
 
@@ -344,22 +373,6 @@ func pickLive(live map[vmmodel.ID]*vmmodel.VM, rng *rand.Rand) *vmmodel.VM {
 	}
 	sort.Strings(ids)
 	return live[vmmodel.ID(ids[rng.IntN(len(ids))])]
-}
-
-// resizeTarget picks a different flavor of the same workload class — users
-// resize within their application family, HANA appliances within HANA
-// sizes.
-func resizeTarget(current *vmmodel.Flavor, rng *rand.Rand) *vmmodel.Flavor {
-	var candidates []*vmmodel.Flavor
-	for _, f := range vmmodel.Catalog() {
-		if f.Class == current.Class && f.Name != current.Name {
-			candidates = append(candidates, f)
-		}
-	}
-	if len(candidates) == 0 {
-		return nil
-	}
-	return candidates[rng.IntN(len(candidates))]
 }
 
 // sampler writes telemetry into the result store through a batched

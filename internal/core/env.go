@@ -1,0 +1,93 @@
+package core
+
+import (
+	"sort"
+
+	"sapsim/internal/esx"
+	"sapsim/internal/events"
+	"sapsim/internal/nova"
+	"sapsim/internal/sim"
+	"sapsim/internal/topology"
+	"sapsim/internal/vmmodel"
+)
+
+// Injector is a scenario hook. Run invokes each injector once after the
+// simulation is fully assembled (fleet, scheduler, workload, samplers,
+// rebalancers) but before the engine starts, so injectors can schedule
+// operational events — host failures, maintenance drains, resize waves —
+// onto the engine. Injectors must be deterministic: any randomness has to
+// derive from Config.Seed.
+type Injector interface {
+	// Name labels the injector for error reporting.
+	Name() string
+	// Inject wires the injector into the assembled simulation.
+	Inject(env *Env) error
+}
+
+// Env exposes the assembled simulation to injectors. It is valid from
+// injection time until Run returns.
+type Env struct {
+	Engine    *sim.Engine
+	Config    Config
+	Region    *topology.Region
+	Fleet     *esx.Fleet
+	Scheduler *nova.Scheduler
+	Result    *Result
+
+	live   map[vmmodel.ID]*vmmodel.VM
+	record func(events.Event)
+	// down reference-counts overlapping out-of-service claims per node:
+	// composed injections (a drain over a zone that also suffers
+	// failures) must not return a node to service while another claim
+	// still holds it down.
+	down map[topology.NodeID]int
+}
+
+// TakeDown registers one out-of-service claim on the node and removes it
+// from service.
+func (e *Env) TakeDown(n *topology.Node) {
+	e.down[n.ID]++
+	n.Maintenance = true
+}
+
+// BringUp releases one out-of-service claim. The node returns to service
+// only when no claims remain; the return value reports whether it did. A
+// claim never released (a permanent failure) keeps the node down for good.
+func (e *Env) BringUp(n *topology.Node) bool {
+	if e.down[n.ID] > 0 {
+		e.down[n.ID]--
+	}
+	if e.down[n.ID] > 0 {
+		return false
+	}
+	n.Maintenance = false
+	return true
+}
+
+// Live returns the currently running VMs sorted by ID, so injector-side
+// iteration is deterministic.
+func (e *Env) Live() []*vmmodel.VM {
+	out := make([]*vmmodel.VM, 0, len(e.live))
+	for _, vm := range e.live {
+		out = append(out, vm)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// LiveCount reports the number of currently running VMs.
+func (e *Env) LiveCount() int { return len(e.live) }
+
+// IsLive reports whether the VM is currently running.
+func (e *Env) IsLive(id vmmodel.ID) bool {
+	_, ok := e.live[id]
+	return ok
+}
+
+// Lose removes a VM from the live set without a normal deletion — an
+// evacuation that found no valid host. Its pending deletion event becomes a
+// no-op.
+func (e *Env) Lose(vm *vmmodel.VM) { delete(e.live, vm.ID) }
+
+// Record appends an event to the run's scheduling-relevant event stream.
+func (e *Env) Record(ev events.Event) { e.record(ev) }

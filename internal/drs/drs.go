@@ -54,6 +54,11 @@ type DRS struct {
 	// OnMigrate, when set, observes every completed migration (the
 	// event stream of Sec. 4).
 	OnMigrate func(vm *vmmodel.VM, from, to *topology.Node, now sim.Time)
+	// OnDecide, when set, observes every migration decision with the
+	// decision-time CPU loads of the chosen source and destination. The
+	// invariant test suite uses it to assert DRS never migrates toward a
+	// fuller host.
+	OnDecide func(vm *vmmodel.VM, srcCPUPct, dstCPUPct float64, now sim.Time)
 
 	migrations int
 	passes     int
@@ -127,6 +132,9 @@ func (d *DRS) RebalanceBB(bb *topology.BuildingBlock, now sim.Time) int {
 		vm := d.pickVM(hottest.host, coldest.host, now)
 		if vm == nil {
 			return moved
+		}
+		if d.OnDecide != nil {
+			d.OnDecide(vm, hottest.cpu, coldest.cpu, now)
 		}
 		from := hottest.host.Node
 		if err := d.fleet.Migrate(vm, coldest.host.Node, now); err != nil {

@@ -28,12 +28,19 @@ const (
 	MigrateCrossBB Type = "migrate_cross_bb"
 	Resize         Type = "resize"
 	ScheduleFailed Type = "schedule_failed"
+	// Evacuate records a VM rescheduled off a failed or draining host
+	// through the normal Nova pipeline (scenario injections).
+	Evacuate Type = "evacuate"
+	// EvacuateFailed records an evacuation that found no valid host; the
+	// VM is lost.
+	EvacuateFailed Type = "evacuate_failed"
 )
 
 // valid reports whether t is a known event type.
 func (t Type) valid() bool {
 	switch t {
-	case Create, Delete, MigrateIntraBB, MigrateCrossBB, Resize, ScheduleFailed:
+	case Create, Delete, MigrateIntraBB, MigrateCrossBB, Resize, ScheduleFailed,
+		Evacuate, EvacuateFailed:
 		return true
 	}
 	return false
@@ -127,11 +134,11 @@ func (l *Log) Churn(days int) []DailyChurn {
 			out[d].Creates++
 		case Delete:
 			out[d].Deletes++
-		case MigrateIntraBB, MigrateCrossBB:
+		case MigrateIntraBB, MigrateCrossBB, Evacuate:
 			out[d].Migrations++
 		case Resize:
 			out[d].Resizes++
-		case ScheduleFailed:
+		case ScheduleFailed, EvacuateFailed:
 			out[d].Failures++
 		}
 	}

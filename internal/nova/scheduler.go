@@ -304,6 +304,44 @@ func (s *Scheduler) Resize(vm *vmmodel.VM, newFlavor *vmmodel.Flavor, now sim.Ti
 	return nil, err
 }
 
+// Evacuate reschedules a VM off its current (failed or draining) host
+// through the normal pipeline: evict, release the placement claim, and run a
+// fresh Schedule. On failure the VM is left unplaced in the Migrating state
+// and the scheduling error is returned — production evacuations end up in
+// the ERROR state the same way when no valid host exists.
+func (s *Scheduler) Evacuate(vm *vmmodel.VM, now sim.Time) (*Result, error) {
+	if vm.Node == nil {
+		return nil, fmt.Errorf("nova: evacuation of unplaced VM %s", vm.ID)
+	}
+	if err := s.fleet.Evict(vm); err != nil {
+		return nil, err
+	}
+	if err := s.placement.Release(string(vm.ID)); err != nil &&
+		!errors.Is(err, placement.ErrUnknownConsumer) {
+		return nil, err
+	}
+	res, err := s.Schedule(&RequestSpec{VM: vm}, now)
+	if err != nil {
+		return nil, err
+	}
+	vm.Migrations++
+	return res, nil
+}
+
+// RefreshInventory re-syncs a building block's placement inventory with the
+// fleet's current active-node capacity. Callers invoke it when nodes fail,
+// enter maintenance, or return to service, so the placement view tracks the
+// shrunken (or restored) building block.
+func (s *Scheduler) RefreshInventory(bb *topology.BuildingBlock) error {
+	alloc := s.fleet.BBAlloc(bb)
+	if err := s.placement.UpdateInventory(string(bb.ID), placement.VCPU,
+		placement.Inventory{Total: int64(alloc.VCPUCap), AllocationRatio: 1}); err != nil {
+		return err
+	}
+	return s.placement.UpdateInventory(string(bb.ID), placement.MemoryMB,
+		placement.Inventory{Total: alloc.MemCapMB, AllocationRatio: 1})
+}
+
 // MoveBB migrates a VM to a node in a different building block, updating
 // the placement allocation (cross-BB rebalancing requires "manual
 // intervention or external rebalancers", Sec. 3.1).

@@ -59,6 +59,15 @@ func CSV(headers []string, rows [][]string) string {
 	return b.String()
 }
 
+// Delta renders a signed difference against a baseline ("+1.40", "-0.25"),
+// the cell format of the sweep runner's comparative tables.
+func Delta(v float64) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return fmt.Sprintf("%+.2f", v)
+}
+
 // fmtCell renders a float with NaN as empty (missing heatmap cells).
 func fmtCell(v float64) string {
 	if math.IsNaN(v) {

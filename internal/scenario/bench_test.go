@@ -1,0 +1,45 @@
+package scenario
+
+import (
+	"testing"
+
+	"sapsim/internal/core"
+	"sapsim/internal/sim"
+)
+
+// BenchmarkSweep measures a 2-scenario x 2-config matrix end to end — the
+// number that tells us how many configurations a "reality check" sweep can
+// cover per unit of compute.
+func BenchmarkSweep(b *testing.B) {
+	base := core.DefaultConfig(7)
+	base.Scale = 0.01
+	base.VMs = 200
+	base.Days = 1
+	base.SampleEvery = sim.Hour
+	base.VMSampleEvery = 6 * sim.Hour
+	m := Matrix{
+		Base: base,
+		Scenarios: []*Scenario{
+			Baseline(),
+			{Name: "hf", Injections: []core.Injector{
+				HostFailures{At: 6 * sim.Hour, Count: 1, Recover: 6 * sim.Hour},
+			}},
+		},
+		Variants: []Variant{
+			{Name: "default"},
+			{Name: "no-drs", Apply: func(cfg *core.Config) { cfg.DRS = false }},
+		},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Sweep(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res.Runs {
+			if r.Err != "" {
+				b.Fatalf("%+v: %s", r.Key, r.Err)
+			}
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"sapsim/internal/core"
+	"sapsim/internal/esx"
+	"sapsim/internal/events"
+	"sapsim/internal/sim"
+	"sapsim/internal/topology"
+	"sapsim/internal/vmmodel"
+)
+
+// injectionStream decorrelates the RNG streams of different injections
+// while keeping every draw derived from the run's seed.
+func injectionStream(env *core.Env, salt uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(env.Config.Seed, 0x5ce7a110^salt))
+}
+
+// evacuateHost reschedules every resident VM of a (failed or draining) host
+// through the normal Nova pipeline, recording evacuate / evacuate_failed
+// events. VMs that find no valid host are lost.
+func evacuateHost(env *core.Env, h *esx.Host, now sim.Time) {
+	source := string(h.Node.ID)
+	for _, vm := range h.VMs() {
+		res, err := env.Scheduler.Evacuate(vm, now)
+		if err != nil {
+			env.Lose(vm)
+			env.Record(events.Event{At: now, Type: events.EvacuateFailed,
+				VM: string(vm.ID), Flavor: vm.Flavor.Name, Source: source})
+			continue
+		}
+		env.Record(events.Event{At: now, Type: events.Evacuate,
+			VM: string(vm.ID), Flavor: vm.Flavor.Name,
+			Source: source, Target: string(res.Node.ID)})
+	}
+}
+
+// failNode takes a node out of service and evacuates its residents. The
+// placement inventory error is ignored: every building block registered a
+// provider at scheduler construction.
+func failNode(env *core.Env, h *esx.Host, now sim.Time) {
+	env.TakeDown(h.Node)
+	_ = env.Scheduler.RefreshInventory(h.Node.BB)
+	evacuateHost(env, h, now)
+}
+
+// restoreHosts releases one out-of-service claim per host; hosts with no
+// remaining claims return to service and their building blocks' placement
+// inventories re-sync, once per block.
+func restoreHosts(env *core.Env, hosts []*esx.Host) {
+	var up []*esx.Host
+	for _, h := range hosts {
+		if env.BringUp(h.Node) {
+			up = append(up, h)
+		}
+	}
+	refreshBBs(env, up)
+}
+
+// refreshBBs re-syncs the placement inventory of each host's building
+// block, once per block.
+func refreshBBs(env *core.Env, hosts []*esx.Host) {
+	seen := make(map[*topology.BuildingBlock]bool)
+	for _, h := range hosts {
+		if bb := h.Node.BB; !seen[bb] {
+			seen[bb] = true
+			_ = env.Scheduler.RefreshInventory(bb)
+		}
+	}
+}
+
+// HostFailures fails a seed-derived subset of hosts at a point in time;
+// residents are evacuated through the Nova pipeline and failed hosts
+// optionally recover after a fixed outage.
+type HostFailures struct {
+	// At is the failure instant.
+	At sim.Time
+	// Count fixes the number of failed hosts; when zero, Fraction of the
+	// active fleet (rounded up) fails instead.
+	Count    int
+	Fraction float64
+	// Recover is the outage duration; zero means the hosts never return.
+	Recover sim.Time
+	// Salt decorrelates host selection from other seeded injections.
+	Salt uint64
+}
+
+// Name implements core.Injector.
+func (HostFailures) Name() string { return "host-failures" }
+
+// Inject implements core.Injector.
+func (hf HostFailures) Inject(env *core.Env) error {
+	if hf.Count < 0 || hf.Fraction < 0 || hf.Fraction > 1 {
+		return fmt.Errorf("host-failures: bad count=%d fraction=%g", hf.Count, hf.Fraction)
+	}
+	_, err := env.Engine.Schedule(hf.At, func(now sim.Time) {
+		var active []*esx.Host
+		for _, h := range env.Fleet.Hosts() {
+			if !h.Node.Maintenance {
+				active = append(active, h)
+			}
+		}
+		n := hf.Count
+		if n == 0 {
+			n = int(math.Ceil(hf.Fraction * float64(len(active))))
+		}
+		if n > len(active) {
+			n = len(active)
+		}
+		if n == 0 {
+			return
+		}
+		rng := injectionStream(env, hf.Salt)
+		perm := rng.Perm(len(active))
+		failed := make([]*esx.Host, n)
+		for i := 0; i < n; i++ {
+			failed[i] = active[perm[i]]
+		}
+		// Process in node-ID order so the evacuation event stream is
+		// independent of the permutation's draw order.
+		sort.Slice(failed, func(i, j int) bool { return failed[i].Node.ID < failed[j].Node.ID })
+		// Mark every victim down first: evacuations must not land on a
+		// host that fails in the same instant.
+		for _, h := range failed {
+			env.TakeDown(h.Node)
+		}
+		refreshBBs(env, failed)
+		for _, h := range failed {
+			evacuateHost(env, h, now)
+		}
+		if hf.Recover > 0 {
+			_, _ = env.Engine.Schedule(now+hf.Recover, func(sim.Time) {
+				restoreHosts(env, failed)
+			})
+		}
+	})
+	return err
+}
+
+// AZOutage takes every host of one availability zone out of service for a
+// fixed duration — the paper's region spans multiple AZs precisely to
+// survive this class of event.
+type AZOutage struct {
+	At sim.Time
+	// AZIndex selects the zone (modulo the region's AZ count).
+	AZIndex  int
+	Duration sim.Time
+}
+
+// Name implements core.Injector.
+func (AZOutage) Name() string { return "az-outage" }
+
+// Inject implements core.Injector.
+func (o AZOutage) Inject(env *core.Env) error {
+	azs := env.Region.AZs
+	if len(azs) == 0 {
+		return fmt.Errorf("az-outage: region has no availability zones")
+	}
+	az := azs[((o.AZIndex%len(azs))+len(azs))%len(azs)]
+	_, err := env.Engine.Schedule(o.At, func(now sim.Time) {
+		var down []*esx.Host
+		for _, dc := range az.DCs {
+			for _, bb := range dc.BBs {
+				for _, h := range env.Fleet.HostsInBB(bb) {
+					if !h.Node.Maintenance {
+						down = append(down, h)
+					}
+				}
+			}
+		}
+		// Whole zone goes dark at once, then residents evacuate to the
+		// surviving zones.
+		for _, h := range down {
+			env.TakeDown(h.Node)
+		}
+		refreshBBs(env, down)
+		for _, h := range down {
+			evacuateHost(env, h, now)
+		}
+		if o.Duration > 0 {
+			_, _ = env.Engine.Schedule(now+o.Duration, func(sim.Time) {
+				restoreHosts(env, down)
+			})
+		}
+	})
+	return err
+}
+
+// MaintenanceDrain rolls a building block through maintenance: nodes drain
+// one at a time (residents live-migrate off through the Nova pipeline),
+// stay down for Hold, then return to service.
+type MaintenanceDrain struct {
+	// At is when the first node starts draining.
+	At sim.Time
+	// BBIndex selects the building block among the region's non-reserved
+	// multi-node blocks (modulo their count).
+	BBIndex int
+	// NodeEvery staggers successive node drains (default 15 minutes).
+	NodeEvery sim.Time
+	// Hold is each node's maintenance duration after draining (default
+	// 2 hours).
+	Hold sim.Time
+}
+
+// Name implements core.Injector.
+func (MaintenanceDrain) Name() string { return "maintenance-drain" }
+
+// Inject implements core.Injector.
+func (d MaintenanceDrain) Inject(env *core.Env) error {
+	every := d.NodeEvery
+	if every <= 0 {
+		every = 15 * sim.Minute
+	}
+	hold := d.Hold
+	if hold <= 0 {
+		hold = 2 * sim.Hour
+	}
+	var candidates []*topology.BuildingBlock
+	for _, bb := range env.Region.BBs() {
+		if !bb.Reserved && len(bb.Nodes) > 1 {
+			candidates = append(candidates, bb)
+		}
+	}
+	if len(candidates) == 0 {
+		return fmt.Errorf("maintenance-drain: no drainable building blocks")
+	}
+	bb := candidates[((d.BBIndex%len(candidates))+len(candidates))%len(candidates)]
+	for i, node := range bb.Nodes {
+		h, err := env.Fleet.Host(node.ID)
+		if err != nil {
+			return fmt.Errorf("maintenance-drain: %w", err)
+		}
+		drainAt := d.At + sim.Time(i)*every
+		if _, err := env.Engine.Schedule(drainAt, func(now sim.Time) {
+			failNode(env, h, now)
+		}); err != nil {
+			return fmt.Errorf("maintenance-drain: %w", err)
+		}
+		if _, err := env.Engine.Schedule(drainAt+hold, func(sim.Time) {
+			restoreHosts(env, []*esx.Host{h})
+		}); err != nil {
+			return fmt.Errorf("maintenance-drain: %w", err)
+		}
+	}
+	return nil
+}
+
+// ResizeWave resizes a seed-derived subset of the live population at one
+// instant — the scheduled mass-resize campaigns (OS upgrades, license
+// right-sizing) that hit production schedulers as a thundering herd.
+type ResizeWave struct {
+	At sim.Time
+	// Count fixes the number of resizes; when zero, Fraction of the live
+	// population (rounded up) resizes instead.
+	Count    int
+	Fraction float64
+	// Salt decorrelates VM selection from other seeded injections.
+	Salt uint64
+}
+
+// Name implements core.Injector.
+func (ResizeWave) Name() string { return "resize-wave" }
+
+// Inject implements core.Injector.
+func (w ResizeWave) Inject(env *core.Env) error {
+	if w.Count < 0 || w.Fraction < 0 || w.Fraction > 1 {
+		return fmt.Errorf("resize-wave: bad count=%d fraction=%g", w.Count, w.Fraction)
+	}
+	_, err := env.Engine.Schedule(w.At, func(now sim.Time) {
+		live := env.Live()
+		n := w.Count
+		if n == 0 {
+			n = int(math.Ceil(w.Fraction * float64(len(live))))
+		}
+		if n > len(live) {
+			n = len(live)
+		}
+		rng := injectionStream(env, 0x9e512e^w.Salt)
+		perm := rng.Perm(len(live))
+		for i := 0; i < n; i++ {
+			vm := live[perm[i]]
+			if vm.Node == nil {
+				continue
+			}
+			target := vmmodel.ResizeTarget(vm.Flavor, rng)
+			if target == nil {
+				continue
+			}
+			if _, err := env.Scheduler.Resize(vm, target, now); err != nil {
+				continue // rolled back; the wave moves on
+			}
+			env.Result.Resizes++
+			env.Record(events.Event{At: now, Type: events.Resize,
+				VM: string(vm.ID), Flavor: target.Name, Target: string(vm.Node.ID)})
+		}
+	})
+	return err
+}

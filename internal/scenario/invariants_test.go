@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"sapsim/internal/core"
+	"sapsim/internal/sim"
+	"sapsim/internal/vmmodel"
+)
+
+// drsMonotoneProbe hooks the DRS decision stream and records any migration
+// whose destination was busier than its source at decision time.
+type drsMonotoneProbe struct {
+	mu         sync.Mutex
+	decisions  int
+	violations []string
+}
+
+func (p *drsMonotoneProbe) Name() string { return "drs-monotone-probe" }
+
+func (p *drsMonotoneProbe) Inject(env *core.Env) error {
+	if env.Result.DRS == nil {
+		return nil
+	}
+	env.Result.DRS.OnDecide = func(vm *vmmodel.VM, srcCPUPct, dstCPUPct float64, now sim.Time) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.decisions++
+		if dstCPUPct > srcCPUPct {
+			p.violations = append(p.violations,
+				vm.Flavor.Name+" at "+now.String())
+		}
+	}
+	return nil
+}
+
+// TestDRSNeverMigratesTowardFullerHost asserts, across a stressed scenario
+// run, that every DRS decision moves load from a busier host to a less
+// busy one.
+func TestDRSNeverMigratesTowardFullerHost(t *testing.T) {
+	probe := &drsMonotoneProbe{}
+	sc := &Scenario{Name: "drs-probe", Injections: []core.Injector{
+		HostFailures{At: sim.Day, Fraction: 0.1, Recover: 12 * sim.Hour},
+		probe,
+	}}
+	res := runScenario(t, sc, 3)
+	if probe.decisions == 0 {
+		t.Skip("no DRS decisions in this window; nothing to assert")
+	}
+	if len(probe.violations) > 0 {
+		t.Fatalf("%d/%d DRS decisions moved toward a fuller host: %s",
+			len(probe.violations), probe.decisions, strings.Join(probe.violations, ", "))
+	}
+	if res.DRSMigrations == 0 {
+		t.Fatal("probe saw decisions but the run recorded no migrations")
+	}
+}
+
+// TestInvariantsOnSteadyState pins the invariant suite on the plain run.
+func TestInvariantsOnSteadyState(t *testing.T) {
+	res, err := core.Run(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckInvariants(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInvariantsDetectViolations corrupts a finished run and expects the
+// checker to object — a checker that cannot fail proves nothing.
+func TestInvariantsDetectViolations(t *testing.T) {
+	res, err := core.Run(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim *vmmodel.VM
+	for _, h := range res.Fleet.Hosts() {
+		if vms := h.VMs(); len(vms) > 0 {
+			victim = vms[0]
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no resident VM to corrupt")
+	}
+	victim.Node = nil // placement pointer now disagrees with residency
+	if err := CheckInvariants(res); err == nil {
+		t.Fatal("checker accepted a corrupted placement pointer")
+	}
+}

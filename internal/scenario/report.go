@@ -1,0 +1,189 @@
+package scenario
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+
+	"sapsim/internal/report"
+)
+
+// Aggregate is the seed-averaged view of one (scenario, variant) cell of a
+// sweep.
+type Aggregate struct {
+	Scenario string
+	Variant  string
+	Seeds    int
+	Errors   int
+
+	LiveVMs             float64
+	PackingMemPct       float64
+	PackingVCPUPct      float64
+	AttemptsPerSchedule float64
+	PlacementFailures   float64
+	Migrations          float64 // DRS + cross-BB + evacuations
+	Evacuations         float64
+	EvacFailures        float64
+	Resizes             float64
+	MeanContentionPct   float64
+	MaxContentionPct    float64
+}
+
+// Aggregates folds a sweep's runs into per-(scenario, variant) means over
+// seeds, in the result's deterministic order.
+func Aggregates(sr *SweepResult) []Aggregate {
+	var order []Key
+	cells := map[Key]*Aggregate{}
+	for _, r := range sr.Runs {
+		k := Key{Scenario: r.Key.Scenario, Variant: r.Key.Variant}
+		agg, ok := cells[k]
+		if !ok {
+			agg = &Aggregate{Scenario: k.Scenario, Variant: k.Variant}
+			cells[k] = agg
+			order = append(order, k)
+		}
+		if r.Err != "" {
+			agg.Errors++
+			continue
+		}
+		agg.Seeds++
+		m := r.Metrics
+		agg.LiveVMs += float64(m.LiveVMs)
+		agg.PackingMemPct += m.PackingMemPct
+		agg.PackingVCPUPct += m.PackingVCPUPct
+		agg.AttemptsPerSchedule += m.AttemptsPerSchedule
+		agg.PlacementFailures += float64(m.PlacementFailures)
+		agg.Migrations += float64(m.DRSMigrations + m.CrossBBMoves + m.Evacuations)
+		agg.Evacuations += float64(m.Evacuations)
+		agg.EvacFailures += float64(m.EvacFailures)
+		agg.Resizes += float64(m.Resizes)
+		agg.MeanContentionPct += m.MeanContentionPct
+		agg.MaxContentionPct += m.MaxContentionPct
+	}
+	out := make([]Aggregate, 0, len(order))
+	for _, k := range order {
+		agg := cells[k]
+		if n := float64(agg.Seeds); n > 0 {
+			agg.LiveVMs /= n
+			agg.PackingMemPct /= n
+			agg.PackingVCPUPct /= n
+			agg.AttemptsPerSchedule /= n
+			agg.PlacementFailures /= n
+			agg.Migrations /= n
+			agg.Evacuations /= n
+			agg.EvacFailures /= n
+			agg.Resizes /= n
+			agg.MeanContentionPct /= n
+			agg.MaxContentionPct /= n
+		}
+		out = append(out, *agg)
+	}
+	return out
+}
+
+// RunsCSV renders every run of the sweep as one CSV row, for downstream
+// plotting. Rows go through encoding/csv: the free-form err column (from
+// arbitrary injector errors) gets quoted properly.
+func RunsCSV(sr *SweepResult) string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write([]string{
+		"scenario", "variant", "seed", "err", "live_vms", "mem_alloc_pct",
+		"vcpu_alloc_pct", "attempts_per_schedule", "placement_failures",
+		"drs_migrations", "cross_bb_moves", "evacuations", "evac_failures",
+		"resizes", "mean_contention_pct", "max_contention_pct",
+	})
+	for _, r := range sr.Runs {
+		m := r.Metrics
+		_ = w.Write([]string{
+			r.Key.Scenario, r.Key.Variant, fmt.Sprintf("%d", r.Key.Seed), r.Err,
+			fmt.Sprintf("%d", m.LiveVMs),
+			fmt.Sprintf("%.4f", m.PackingMemPct),
+			fmt.Sprintf("%.4f", m.PackingVCPUPct),
+			fmt.Sprintf("%.4f", m.AttemptsPerSchedule),
+			fmt.Sprintf("%d", m.PlacementFailures),
+			fmt.Sprintf("%d", m.DRSMigrations),
+			fmt.Sprintf("%d", m.CrossBBMoves),
+			fmt.Sprintf("%d", m.Evacuations),
+			fmt.Sprintf("%d", m.EvacFailures),
+			fmt.Sprintf("%d", m.Resizes),
+			fmt.Sprintf("%.4f", m.MeanContentionPct),
+			fmt.Sprintf("%.4f", m.MaxContentionPct),
+		})
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Comparative renders the sweep as per-variant tables of per-scenario
+// deltas against the baseline scenario (the sweep's first) for the headline
+// artifacts: packing efficiency, scheduling latency proxy, and migration
+// counts.
+func Comparative(sr *SweepResult) string {
+	aggs := Aggregates(sr)
+	if len(aggs) == 0 {
+		return "sweep: no runs\n"
+	}
+	// Preserve first-seen order of variants; the baseline scenario is the
+	// first scenario of the sweep.
+	var variants []string
+	byVariant := map[string][]Aggregate{}
+	for _, a := range aggs {
+		if _, ok := byVariant[a.Variant]; !ok {
+			variants = append(variants, a.Variant)
+		}
+		byVariant[a.Variant] = append(byVariant[a.Variant], a)
+	}
+
+	errs := 0
+	for _, r := range sr.Runs {
+		if r.Err != "" {
+			errs++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep: %d runs (%d failed)\n", len(sr.Runs), errs)
+	headers := []string{
+		"scenario", "live_vms", "mem_alloc%", "Δmem", "attempts", "Δatt",
+		"migrations", "Δmig", "evac", "lost", "no_valid_host", "mean_cont%", "max_cont%",
+	}
+	for _, v := range variants {
+		rows := byVariant[v]
+		base := rows[0]
+		if base.Seeds == 0 {
+			// Every baseline run failed: absolute columns still print,
+			// but deltas against a zero-valued baseline would read as
+			// fabricated measurements.
+			fmt.Fprintf(&b, "\nvariant %s (baseline scenario %s FAILED in all %d runs; deltas omitted)\n",
+				v, base.Scenario, base.Errors)
+		} else {
+			fmt.Fprintf(&b, "\nvariant %s (baseline scenario: %s)\n", v, base.Scenario)
+		}
+		delta := func(cur, ref float64) string {
+			if base.Seeds == 0 {
+				return ""
+			}
+			return report.Delta(cur - ref)
+		}
+		table := make([][]string, 0, len(rows))
+		for _, a := range rows {
+			table = append(table, []string{
+				a.Scenario,
+				fmt.Sprintf("%.1f", a.LiveVMs),
+				fmt.Sprintf("%.2f", a.PackingMemPct),
+				delta(a.PackingMemPct, base.PackingMemPct),
+				fmt.Sprintf("%.3f", a.AttemptsPerSchedule),
+				delta(a.AttemptsPerSchedule, base.AttemptsPerSchedule),
+				fmt.Sprintf("%.1f", a.Migrations),
+				delta(a.Migrations, base.Migrations),
+				fmt.Sprintf("%.1f", a.Evacuations),
+				fmt.Sprintf("%.1f", a.EvacFailures),
+				fmt.Sprintf("%.1f", a.PlacementFailures),
+				fmt.Sprintf("%.3f", a.MeanContentionPct),
+				fmt.Sprintf("%.2f", a.MaxContentionPct),
+			})
+		}
+		b.WriteString(report.Table(headers, table))
+	}
+	return b.String()
+}

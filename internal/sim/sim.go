@@ -125,7 +125,29 @@ type Engine struct {
 	fired   uint64
 	running bool
 	horizon Time
+	errHook func(error)
+	errs    []error
 }
+
+// OnError installs a hook that observes internal scheduling errors that
+// cannot be returned to a caller (e.g. a ticker failing to reschedule).
+// Without a hook such errors are collected and surfaced by Run.
+func (e *Engine) OnError(fn func(error)) { e.errHook = fn }
+
+// noteError routes an internal error to the hook, or records it for Run.
+func (e *Engine) noteError(err error) {
+	if err == nil {
+		return
+	}
+	if e.errHook != nil {
+		e.errHook(err)
+		return
+	}
+	e.errs = append(e.errs, err)
+}
+
+// Errs returns internal errors collected so far (nil hook installed).
+func (e *Engine) Errs() []error { return e.errs }
 
 // NewEngine returns an engine positioned at time zero.
 func NewEngine() *Engine {
@@ -212,8 +234,14 @@ func (t *Ticker) fire(now Time) {
 	if t.stopped { // fn may call Stop
 		return
 	}
-	// Ignore ErrPast: cannot happen because now+interval > now.
-	t.next, _ = t.engine.Schedule(now+t.interval, t.fire)
+	// Rescheduling cannot fail today (now+interval > now), but injectors
+	// that reschedule near the horizon would silently lose ticks if a
+	// failure were dropped — surface it through the engine's error hook.
+	var err error
+	t.next, err = t.engine.Schedule(now+t.interval, t.fire)
+	if err != nil {
+		t.engine.noteError(fmt.Errorf("sim: ticker reschedule at %v: %w", now, err))
+	}
 }
 
 // Stop prevents future ticks. It is safe to call from within the tick
@@ -240,7 +268,7 @@ func (e *Engine) Run(horizon Time) error {
 		ev := e.queue[0]
 		if ev.at > horizon {
 			e.now = horizon
-			return nil
+			return e.takeErrs()
 		}
 		heap.Pop(&e.queue)
 		if ev.canceled {
@@ -253,7 +281,15 @@ func (e *Engine) Run(horizon Time) error {
 	if e.now < horizon {
 		e.now = horizon
 	}
-	return nil
+	return e.takeErrs()
+}
+
+// takeErrs joins and clears collected internal errors, so a resumed Run
+// does not re-report failures already surfaced by an earlier window.
+func (e *Engine) takeErrs() error {
+	err := errors.Join(e.errs...)
+	e.errs = nil
+	return err
 }
 
 // Step executes exactly one (non-canceled) event, if any, and reports

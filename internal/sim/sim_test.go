@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"errors"
+	"math"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
@@ -334,5 +336,38 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 			e.Schedule(Time(j)*Second, func(Time) {})
 		}
 		e.Run(2000 * Second)
+	}
+}
+
+// TestTickerRescheduleErrorSurfaced forces the one reachable reschedule
+// failure — now+interval overflowing into the past — and asserts the error
+// reaches the caller instead of being dropped.
+func TestTickerRescheduleErrorSurfaced(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Every(5, Time(math.MaxInt64), func(Time) {}); err != nil {
+		t.Fatal(err)
+	}
+	err := e.Run(10)
+	if err == nil {
+		t.Fatal("overflowing ticker reschedule was silently dropped")
+	}
+	if !errors.Is(err, ErrPast) {
+		t.Fatalf("expected ErrPast, got %v", err)
+	}
+}
+
+// TestTickerRescheduleErrorHook routes the same failure through OnError.
+func TestTickerRescheduleErrorHook(t *testing.T) {
+	e := NewEngine()
+	var hooked []error
+	e.OnError(func(err error) { hooked = append(hooked, err) })
+	if _, err := e.Every(5, Time(math.MaxInt64), func(Time) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(10); err != nil {
+		t.Fatalf("hooked errors must not also surface from Run: %v", err)
+	}
+	if len(hooked) != 1 || !errors.Is(hooked[0], ErrPast) {
+		t.Fatalf("hook saw %v, want one ErrPast", hooked)
 	}
 }

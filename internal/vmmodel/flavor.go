@@ -9,6 +9,7 @@ package vmmodel
 
 import (
 	"fmt"
+	"math/rand/v2"
 	"sort"
 )
 
@@ -124,6 +125,22 @@ func (f *Flavor) VCPUClass() SizeClass { return VCPUClass(f.VCPUs) }
 
 // RAMClass reports the flavor's Table 2 class.
 func (f *Flavor) RAMClass() SizeClass { return RAMClass(f.RAMGiB) }
+
+// ResizeTarget picks a different catalog flavor of the same workload class
+// — users resize within their application family, HANA appliances within
+// HANA sizes. It returns nil when the class has no alternative.
+func ResizeTarget(current *Flavor, rng *rand.Rand) *Flavor {
+	var candidates []*Flavor
+	for _, f := range Catalog() {
+		if f.Class == current.Class && f.Name != current.Name {
+			candidates = append(candidates, f)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[rng.IntN(len(candidates))]
+}
 
 // Catalog returns the flavor catalog reconstructed from Figure 15. vCPU and
 // RAM values are chosen so that, weighted by the published per-flavor VM

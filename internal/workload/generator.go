@@ -27,6 +27,10 @@ type Spec struct {
 	LifetimeSigma float64
 	// Projects is the number of tenants VMs are spread over.
 	Projects int
+	// Phases optionally modulate the churn arrival process (surges,
+	// lulls, flavor-mix shifts). Empty keeps the homogeneous Poisson
+	// process — and the exact RNG draw sequence — of the base workload.
+	Phases []Phase
 }
 
 // DefaultSpec returns a spec for the given population size over 30 days.
@@ -121,20 +125,39 @@ func (g *Generator) initialPopulation() []*Instance {
 }
 
 // churn draws Poisson arrivals per flavor at rate quota/meanLifetime, which
-// keeps the population approximately stationary across the window.
+// keeps the population approximately stationary across the window. With
+// arrival phases configured the process becomes non-homogeneous and is
+// sampled by thinning: candidates are drawn at the envelope rate and
+// accepted with probability factor(t)/envelope.
 func (g *Generator) churn() []*Instance {
 	var out []*Instance
 	quota := g.flavorQuota()
 	for _, f := range g.catalog {
 		mean := sim.Time(f.MeanLifetimeHours * float64(sim.Hour))
 		rate := float64(quota[f]) / float64(mean) // arrivals per sim.Time unit
+		if len(g.spec.Phases) == 0 {
+			t := sim.Time(0)
+			for {
+				// Exponential inter-arrival.
+				gap := sim.Time(-math.Log(1-g.rng.Float64()) / rate)
+				t += gap
+				if t >= g.spec.Horizon {
+					break
+				}
+				out = append(out, g.newInstance(f, t, g.Lifetime(f)))
+			}
+			continue
+		}
+		envelope := phaseEnvelope(g.spec.Phases, f.Class)
 		t := sim.Time(0)
 		for {
-			// Exponential inter-arrival.
-			gap := sim.Time(-math.Log(1-g.rng.Float64()) / rate)
+			gap := sim.Time(-math.Log(1-g.rng.Float64()) / (rate * envelope))
 			t += gap
 			if t >= g.spec.Horizon {
 				break
+			}
+			if g.rng.Float64()*envelope >= phaseFactor(g.spec.Phases, f.Class, t) {
+				continue // thinned: outside (or below) the phase intensity
 			}
 			out = append(out, g.newInstance(f, t, g.Lifetime(f)))
 		}

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"sapsim/internal/sim"
+	"sapsim/internal/vmmodel"
+)
+
+// Phase modulates the churn arrival process over a window [From, To):
+// demand surges, lulls, and flavor-mix shifts. Phases compose
+// multiplicatively when they overlap.
+type Phase struct {
+	From, To sim.Time
+	// RateMultiplier scales the Poisson arrival intensity inside the
+	// window: 1 leaves it unchanged, 3 models a surge, 0.25 a lull, 0
+	// suppresses arrivals entirely.
+	RateMultiplier float64
+	// ClassMultiplier applies an extra per-workload-class factor on top
+	// of RateMultiplier, shifting the flavor mix of arrivals (e.g. a
+	// HANA-heavy onboarding wave). Absent classes default to 1.
+	ClassMultiplier map[vmmodel.WorkloadClass]float64
+}
+
+// factor reports the phase's intensity multiplier for the class at time t
+// (1 outside the window).
+func (p Phase) factor(class vmmodel.WorkloadClass, t sim.Time) float64 {
+	if t < p.From || t >= p.To {
+		return 1
+	}
+	m := p.RateMultiplier
+	if c, ok := p.ClassMultiplier[class]; ok {
+		m *= c
+	}
+	return m
+}
+
+// peak reports the largest multiplier the phase can contribute for the
+// class (at least 1, since the phase contributes 1 outside its window).
+func (p Phase) peak(class vmmodel.WorkloadClass) float64 {
+	m := p.RateMultiplier
+	if c, ok := p.ClassMultiplier[class]; ok {
+		m *= c
+	}
+	if m < 1 {
+		return 1
+	}
+	return m
+}
+
+// phaseFactor is the combined arrival-intensity multiplier for the class at
+// time t across all phases.
+func phaseFactor(phases []Phase, class vmmodel.WorkloadClass, t sim.Time) float64 {
+	m := 1.0
+	for _, p := range phases {
+		m *= p.factor(class, t)
+	}
+	return m
+}
+
+// phaseEnvelope is an upper bound on phaseFactor over all t, used as the
+// thinning envelope for non-homogeneous Poisson sampling.
+func phaseEnvelope(phases []Phase, class vmmodel.WorkloadClass) float64 {
+	m := 1.0
+	for _, p := range phases {
+		m *= p.peak(class)
+	}
+	return m
+}

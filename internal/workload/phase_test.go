@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"sapsim/internal/sim"
+	"sapsim/internal/vmmodel"
+)
+
+func countArrivals(instances []*Instance, from, to sim.Time) int {
+	n := 0
+	for _, in := range instances {
+		if in.ArriveAt >= from && in.ArriveAt < to {
+			n++
+		}
+	}
+	return n
+}
+
+func TestNoPhasesMatchesLegacyGeneration(t *testing.T) {
+	spec := DefaultSpec(400, 99)
+	plain := NewGenerator(spec).Generate()
+	spec.Phases = []Phase{} // empty, not nil: still the legacy path
+	empty := NewGenerator(spec).Generate()
+	if !reflect.DeepEqual(instanceKeys(plain), instanceKeys(empty)) {
+		t.Fatal("empty phase slice changed the generated workload")
+	}
+}
+
+// instanceKeys projects instances onto comparable identity tuples.
+func instanceKeys(ins []*Instance) [][3]int64 {
+	out := make([][3]int64, len(ins))
+	for i, in := range ins {
+		out[i] = [3]int64{int64(in.ArriveAt), int64(in.Lifetime), int64(len(in.VM.ID))}
+	}
+	return out
+}
+
+func TestSurgePhaseRaisesWindowArrivals(t *testing.T) {
+	spec := DefaultSpec(400, 99)
+	base := NewGenerator(spec).Generate()
+
+	spec.Phases = []Phase{{From: 5 * sim.Day, To: 10 * sim.Day, RateMultiplier: 5}}
+	surged := NewGenerator(spec).Generate()
+
+	baseIn := countArrivals(base, 5*sim.Day, 10*sim.Day)
+	surgedIn := countArrivals(surged, 5*sim.Day, 10*sim.Day)
+	if surgedIn < 2*baseIn {
+		t.Fatalf("5x surge produced %d arrivals in window vs %d baseline; expected a clear increase",
+			surgedIn, baseIn)
+	}
+}
+
+func TestZeroMultiplierSuppressesArrivals(t *testing.T) {
+	spec := DefaultSpec(400, 99)
+	spec.Phases = []Phase{{From: 0, To: spec.Horizon, RateMultiplier: 0}}
+	out := NewGenerator(spec).Generate()
+	if n := countArrivals(out, sim.Time(1), spec.Horizon); n != 0 {
+		t.Fatalf("full-suppression phase still produced %d churn arrivals", n)
+	}
+}
+
+func TestClassMultiplierShiftsOnlyThatClass(t *testing.T) {
+	spec := DefaultSpec(400, 99)
+	spec.Phases = []Phase{{
+		From: 0, To: spec.Horizon, RateMultiplier: 1,
+		ClassMultiplier: map[vmmodel.WorkloadClass]float64{vmmodel.General: 0},
+	}}
+	out := NewGenerator(spec).Generate()
+	for _, in := range out {
+		if in.ArriveAt > 0 && in.VM.Flavor.Class == vmmodel.General {
+			t.Fatalf("general-purpose arrival %s during full general suppression", in.VM.ID)
+		}
+	}
+}
+
+func TestPhaseDeterminism(t *testing.T) {
+	spec := DefaultSpec(300, 42)
+	spec.Phases = []Phase{{From: sim.Day, To: 3 * sim.Day, RateMultiplier: 3}}
+	a := NewGenerator(spec).Generate()
+	b := NewGenerator(spec).Generate()
+	if !reflect.DeepEqual(instanceKeys(a), instanceKeys(b)) {
+		t.Fatal("phased generation is not deterministic per seed")
+	}
+}
+
+func TestPhaseFactorComposition(t *testing.T) {
+	phases := []Phase{
+		{From: 0, To: 10, RateMultiplier: 2},
+		{From: 5, To: 15, RateMultiplier: 3},
+	}
+	if got := phaseFactor(phases, vmmodel.General, 7); got != 6 {
+		t.Fatalf("overlapping phases: factor = %v, want 6", got)
+	}
+	if got := phaseFactor(phases, vmmodel.General, 12); got != 3 {
+		t.Fatalf("single phase: factor = %v, want 3", got)
+	}
+	if got := phaseFactor(phases, vmmodel.General, 20); got != 1 {
+		t.Fatalf("outside phases: factor = %v, want 1", got)
+	}
+	if env := phaseEnvelope(phases, vmmodel.General); env != 6 {
+		t.Fatalf("envelope = %v, want 6", env)
+	}
+	// A lull never lifts the envelope below 1.
+	lull := []Phase{{From: 0, To: 10, RateMultiplier: 0.1}}
+	if env := phaseEnvelope(lull, vmmodel.General); env != 1 {
+		t.Fatalf("lull envelope = %v, want 1", env)
+	}
+}
