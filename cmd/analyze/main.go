@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"sapsim/internal/analysis"
 	"sapsim/internal/core"
@@ -29,11 +30,20 @@ func main() {
 		in    = flag.String("i", "dataset.csv", "input dataset CSV")
 		days  = flag.Int("days", 30, "observation window in days")
 		fig   = flag.String("fig", "all", "figure to compute: fig5, fig8, fig9, fig10, fig13, fig14a, fig14b, or all")
-		query = flag.String("query", "", "PromQL expression to evaluate instead of figures")
-		at    = flag.Float64("at", -1, "query evaluation time in seconds since epoch (default: end of window)")
-		oc    = flag.Bool("recommend-overcommit", false, "derive a workload-based vCPU:pCPU overcommit factor (Sec. 7 guidance)")
+		query   = flag.String("query", "", "PromQL expression to evaluate instead of figures")
+		at      = flag.Float64("at", -1, "query evaluation time in seconds since epoch (default: end of window)")
+		oc      = flag.Bool("recommend-overcommit", false, "derive a workload-based vCPU:pCPU overcommit factor (Sec. 7 guidance)")
+		timeout = flag.Duration("timeout", 0, "wall-clock limit for load + analysis (0 = none)")
 	)
 	flag.Parse()
+
+	// The analysis pipeline is a straight-line batch job with no run loop
+	// to interrupt, so the timeout is a watchdog over the whole process.
+	if *timeout > 0 {
+		time.AfterFunc(*timeout, func() {
+			fatal(fmt.Errorf("timed out after %v", *timeout))
+		})
+	}
 
 	f, err := os.Open(*in)
 	if err != nil {

@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	exporter [-addr :9100] [-speedup 3600] [-scale 0.02] [-vms 400]
+//	exporter [-addr :9100] [-speedup 3600] [-scale 0.02] [-vms 400] [-timeout D]
+//
+// -timeout serves for the given wall-clock duration and then shuts down
+// gracefully (useful for scrape smoke tests); 0 serves forever.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -32,6 +37,7 @@ func main() {
 		scale   = flag.Float64("scale", 0.02, "region scale")
 		vms     = flag.Int("vms", 400, "VM population")
 		seed    = flag.Uint64("seed", 1, "random seed")
+		timeout = flag.Duration("timeout", 0, "serve for this long, then shut down (0 = forever)")
 	)
 	flag.Parse()
 
@@ -67,9 +73,19 @@ func main() {
 		},
 		Interval: 5 * sim.Minute,
 	}
-	http.Handle("/metrics", exp.Handler())
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", exp.Handler())
+	server := &http.Server{Addr: *addr, Handler: mux}
+	if *timeout > 0 {
+		time.AfterFunc(*timeout, func() {
+			fmt.Printf("exporter: %v elapsed, shutting down\n", *timeout)
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = server.Shutdown(ctx)
+		})
+	}
 	fmt.Printf("serving Prometheus metrics on %s/metrics (speedup %.0fx)\n", *addr, *speedup)
-	if err := http.ListenAndServe(*addr, nil); err != nil {
+	if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
 }

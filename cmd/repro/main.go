@@ -4,17 +4,23 @@
 //
 // Usage:
 //
-//	repro [-seed N] [-scale F] [-vms N] [-days N] [-id fig5] [-out DIR]
+//	repro [-seed N] [-scale F] [-vms N] [-days N] [-id fig5] [-only REGEXP]
+//	      [-timeout D] [-out DIR]
 //
-// With -id, only the named experiment runs; otherwise all of them.
+// With -id, only the named experiment runs; -only selects every experiment
+// whose ID matches the regexp (e.g. -only 'fig1[0-3]' or -only table), so a
+// single figure can be regenerated without computing all 18 artifacts.
 // With -out, each artifact's full text is written to DIR/<id>.txt.
+// -timeout bounds the wall-clock simulation time.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"time"
 
@@ -24,13 +30,16 @@ import (
 
 func main() {
 	var (
-		seed  = flag.Uint64("seed", 2024, "random seed (runs are deterministic per seed)")
-		scale = flag.Float64("scale", 0.05, "region scale (1.0 = 1,823 hypervisors)")
-		vms   = flag.Int("vms", 2400, "initial VM population")
-		days  = flag.Int("days", 30, "observation window in days")
-		every = flag.Duration("sample", 5*time.Minute, "host sampling interval")
-		id    = flag.String("id", "", "single experiment ID (fig5..fig15b, table1..table5)")
-		out   = flag.String("out", "", "directory to write full artifact text files")
+		seed     = flag.Uint64("seed", 2024, "random seed (runs are deterministic per seed)")
+		scale    = flag.Float64("scale", 0.05, "region scale (1.0 = 1,823 hypervisors)")
+		vms      = flag.Int("vms", 2400, "initial VM population")
+		days     = flag.Int("days", 30, "observation window in days")
+		every    = flag.Duration("sample", 5*time.Minute, "host sampling interval")
+		id       = flag.String("id", "", "single experiment ID (fig5..fig15b, table1..table5)")
+		only     = flag.String("only", "", "regexp over experiment IDs; only matches are computed")
+		timeout  = flag.Duration("timeout", 0, "wall-clock limit for the simulation (0 = none)")
+		progress = flag.Bool("progress", true, "print per-day progress to stderr")
+		out      = flag.String("out", "", "directory to write full artifact text files")
 	)
 	flag.Parse()
 
@@ -40,24 +49,42 @@ func main() {
 	cfg.Days = *days
 	cfg.SampleEvery = sim.Time(*every)
 
+	experiments, err := selectExperiments(*id, *only)
+	if err != nil {
+		fatal(err)
+	}
+
 	fmt.Printf("running %d-day simulation: scale=%.2f (%s), %d VMs, seed %d\n",
 		cfg.Days, cfg.Scale, "region 9 replica", cfg.VMs, cfg.Seed)
 	start := time.Now()
-	res, err := sapsim.Run(cfg)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := []sapsim.Option{sapsim.WithContext(ctx)}
+	if *progress {
+		opts = append(opts, sapsim.WithObserver(sapsim.LogDailyProgress(os.Stderr, "repro")))
+	}
+	session, err := sapsim.NewSession(cfg, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	defer session.Close()
+	if err := session.RunToCompletion(); err != nil {
+		if ctx.Err() != nil {
+			fatal(fmt.Errorf("timed out after %v at simulated %s: %w", *timeout, session.Now(), err))
+		}
+		fatal(err)
+	}
+	res, err := session.Result()
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("simulated %d nodes, %d VM instances, %d samples in %v\n\n",
 		res.Region.NodeCount(), len(res.VMs), res.Store.SampleCount(), time.Since(start).Round(time.Millisecond))
-
-	experiments := sapsim.Experiments()
-	if *id != "" {
-		exp, ok := sapsim.ExperimentByID(*id)
-		if !ok {
-			fatal(fmt.Errorf("unknown experiment %q", *id))
-		}
-		experiments = []sapsim.Experiment{exp}
-	}
 
 	for _, exp := range experiments {
 		art, err := exp.Compute(res)
@@ -67,7 +94,7 @@ func main() {
 		fmt.Printf("=== %s: %s\n", exp.ID, exp.Title)
 		fmt.Printf("    paper:    %s\n", exp.PaperClaim)
 		fmt.Printf("    measured: %s\n", formatValues(art.Values))
-		if *out == "" && *id != "" {
+		if *out == "" && len(experiments) == 1 {
 			fmt.Println()
 			fmt.Println(art.Text)
 		}
@@ -83,6 +110,39 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// selectExperiments resolves -id / -only to the experiment subset, in paper
+// order. The flags are mutually exclusive.
+func selectExperiments(id, only string) ([]sapsim.Experiment, error) {
+	if id != "" && only != "" {
+		return nil, fmt.Errorf("-id and -only are mutually exclusive")
+	}
+	if id != "" {
+		exp, ok := sapsim.ExperimentByID(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q", id)
+		}
+		return []sapsim.Experiment{exp}, nil
+	}
+	all := sapsim.Experiments()
+	if only == "" {
+		return all, nil
+	}
+	re, err := regexp.Compile(only)
+	if err != nil {
+		return nil, fmt.Errorf("bad -only regexp: %w", err)
+	}
+	var picked []sapsim.Experiment
+	for _, exp := range all {
+		if re.MatchString(exp.ID) {
+			picked = append(picked, exp)
+		}
+	}
+	if len(picked) == 0 {
+		return nil, fmt.Errorf("-only %q matches no experiment IDs", only)
+	}
+	return picked, nil
 }
 
 func formatValues(values map[string]float64) string {

@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	sapsim [-seed N] [-scale F] [-vms N] [-days N] -o dataset.csv
+//	sapsim [-seed N] [-scale F] [-vms N] [-days N] [-timeout D] -o dataset.csv
+//
+// -timeout bounds the wall-clock run time; an exceeded deadline cancels the
+// simulation cleanly mid-tick. -progress streams per-day progress to
+// stderr.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,16 +28,18 @@ import (
 
 func main() {
 	var (
-		seed  = flag.Uint64("seed", 2024, "random seed")
-		scale = flag.Float64("scale", 0.05, "region scale (1.0 = 1,823 hypervisors)")
-		vms   = flag.Int("vms", 2400, "initial VM population")
-		days  = flag.Int("days", 30, "observation window in days")
-		every = flag.Duration("sample", 5*time.Minute, "host sampling interval")
-		out   = flag.String("o", "dataset.csv", "output CSV path")
-		evOut = flag.String("events", "", "also export the scheduling event stream to this CSV")
-		flOut = flag.String("flavors", "", "also export the flavor catalog to this CSV")
-		salt  = flag.String("salt", "sap-cloud-dataset", "anonymization salt")
-		raw   = flag.Bool("raw", false, "skip anonymization (keep entity names)")
+		seed     = flag.Uint64("seed", 2024, "random seed")
+		scale    = flag.Float64("scale", 0.05, "region scale (1.0 = 1,823 hypervisors)")
+		vms      = flag.Int("vms", 2400, "initial VM population")
+		days     = flag.Int("days", 30, "observation window in days")
+		every    = flag.Duration("sample", 5*time.Minute, "host sampling interval")
+		timeout  = flag.Duration("timeout", 0, "wall-clock limit for the simulation (0 = none)")
+		progress = flag.Bool("progress", true, "print per-day progress to stderr")
+		out      = flag.String("o", "dataset.csv", "output CSV path")
+		evOut    = flag.String("events", "", "also export the scheduling event stream to this CSV")
+		flOut    = flag.String("flavors", "", "also export the flavor catalog to this CSV")
+		salt     = flag.String("salt", "sap-cloud-dataset", "anonymization salt")
+		raw      = flag.Bool("raw", false, "skip anonymization (keep entity names)")
 	)
 	flag.Parse()
 
@@ -42,8 +49,30 @@ func main() {
 	cfg.Days = *days
 	cfg.SampleEvery = sim.Time(*every)
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	sessOpts := []sapsim.Option{sapsim.WithContext(ctx)}
+	if *progress {
+		sessOpts = append(sessOpts, sapsim.WithObserver(sapsim.LogDailyProgress(os.Stderr, "sapsim")))
+	}
+
 	start := time.Now()
-	res, err := sapsim.Run(cfg)
+	session, err := sapsim.NewSession(cfg, sessOpts...)
+	if err != nil {
+		fatal(err)
+	}
+	defer session.Close()
+	if err := session.RunToCompletion(); err != nil {
+		if ctx.Err() != nil {
+			fatal(fmt.Errorf("timed out after %v at simulated %s: %w", *timeout, session.Now(), err))
+		}
+		fatal(err)
+	}
+	res, err := session.Result()
 	if err != nil {
 		fatal(err)
 	}

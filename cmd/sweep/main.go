@@ -7,19 +7,24 @@
 //
 //	sweep [-scale F] [-vms N] [-days N] [-sample D] \
 //	      [-scenarios a,b,...] [-variants x,y,...] [-seeds 7,11,...] \
-//	      [-workers N] [-out DIR] [-list]
+//	      [-workers N] [-timeout D] [-out DIR] [-list]
 //
 // Scenario and variant names come from the builtin libraries; -list prints
 // them. Runs are fully deterministic per seed, independent of -workers.
+// Each cell runs as its own sapsim.Session: -timeout cancels in-flight
+// cells mid-run (they report the cancellation in the run table), and
+// -progress streams per-cell completions to stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"sapsim/internal/core"
@@ -37,6 +42,8 @@ func main() {
 		variants  = flag.String("variants", "default", "comma-separated variant names (\"all\" = every builtin)")
 		seeds     = flag.String("seeds", "2024", "comma-separated seeds")
 		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the whole sweep (0 = none)")
+		progress  = flag.Bool("progress", true, "print per-cell completions to stderr")
 		out       = flag.String("out", "", "directory for report.txt and runs.csv")
 		list      = flag.Bool("list", false, "list builtin scenarios and variants, then exit")
 	)
@@ -94,7 +101,23 @@ func main() {
 		m.Seeds = append(m.Seeds, seed)
 	}
 
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		m.Context = ctx
+	}
 	total := len(m.Scenarios) * len(m.Variants) * len(m.Seeds)
+	if *progress {
+		var done atomic.Int64
+		m.OnCell = func(u scenario.CellUpdate) {
+			switch u.State {
+			case scenario.CellFinished, scenario.CellFailed, scenario.CellCanceled:
+				fmt.Fprintf(os.Stderr, "sweep: [%d/%d] %s/%s seed %d: %s\n",
+					done.Add(1), total, u.Key.Scenario, u.Key.Variant, u.Key.Seed, u.State)
+			}
+		}
+	}
+
 	fmt.Printf("sweeping %d scenarios x %d variants x %d seeds = %d runs (scale %.2f, %d VMs, %d days)\n",
 		len(m.Scenarios), len(m.Variants), len(m.Seeds), total, *scale, *vms, *days)
 	start := time.Now()

@@ -6,9 +6,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
+	"time"
 
 	"sapsim"
 	"sapsim/internal/analysis"
@@ -27,7 +29,20 @@ func main() {
 	cfg.SampleEvery = 15 * sim.Minute
 	cfg.VMSampleEvery = sim.Hour
 
-	res, err := sapsim.Run(cfg)
+	// A bounded, cancellable run: the context caps the wall-clock cost of
+	// the planning loop (generous here; a 14-day window simulates in
+	// seconds).
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	session, err := sapsim.NewSession(cfg, sapsim.WithContext(ctx))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer session.Close()
+	if err := session.RunToCompletion(); err != nil {
+		log.Fatal(err)
+	}
+	res, err := session.Result()
 	if err != nil {
 		log.Fatal(err)
 	}

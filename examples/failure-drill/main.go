@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 
+	"sapsim"
 	"sapsim/internal/core"
 	"sapsim/internal/events"
 	"sapsim/internal/scenario"
@@ -42,10 +43,41 @@ func main() {
 
 	fmt.Println("== failure drill ==")
 	fmt.Printf("%s: %s\n\n", drill.Name, drill.Description)
-	res, err := core.Run(drill.Configure(base))
+
+	// The drill runs as a Session so the incident timeline is visible
+	// live: forced moves stream as Migration events with Kind
+	// "evacuation" right after the day-2 failure injection, and VMs
+	// stranded by a full fleet surface as failed Placements.
+	lastDay := -1
+	streamedEvacs := 0 // written on the dispatch goroutine, read after the run
+	session, err := sapsim.NewSession(drill.Configure(base),
+		sapsim.WithObserverFunc(func(ev sapsim.SessionEvent) {
+			switch e := ev.(type) {
+			case sapsim.Progress:
+				if day := int(e.Now.Days()); day > lastDay {
+					lastDay = day
+					fmt.Printf("  day %d: %d VMs live\n", day, e.LiveVMs)
+				}
+			case sapsim.Migration:
+				if e.Kind == string(core.MigrateEvacuation) {
+					streamedEvacs++
+				}
+			}
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer session.Close()
+	if err := session.RunToCompletion(); err != nil {
+		log.Fatal(err)
+	}
+	res, err := session.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	fmt.Printf("  streamed live: %d evacuation migrations\n\n", streamedEvacs)
 
 	counts := res.Events.CountByType()
 	fmt.Println("operational event stream:")
@@ -63,8 +95,10 @@ func main() {
 	}
 	fmt.Println("\ninvariants: admission ceilings, residency, conservation — all hold")
 
-	// Compare against the undisturbed baseline, same seed.
-	baseline, err := core.Run(base)
+	// Compare against the undisturbed baseline, same seed. The blocking
+	// compatibility wrapper and the session above share one code path, so
+	// the comparison stays apples-to-apples.
+	baseline, err := sapsim.Run(base)
 	if err != nil {
 		log.Fatal(err)
 	}

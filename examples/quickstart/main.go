@@ -1,6 +1,12 @@
-// Quickstart: build a small region, place a handful of VMs through the
-// Nova scheduler, and inspect where they landed and how utilized the fleet
-// is — the minimal end-to-end tour of the public API.
+// Quickstart: the minimal end-to-end tour of the public API, built on the
+// Session lifecycle — construct a session, watch its event stream while the
+// run advances in steps, then inspect where VMs landed, how utilized the
+// fleet is, and one regenerated paper artifact.
+//
+// The blocking form is a one-liner (`res, err := sapsim.Run(cfg)`); the
+// session form below does the same work but is observable (typed event
+// stream), steppable (pause between Step calls), and cancellable
+// (WithContext).
 package main
 
 import (
@@ -20,17 +26,55 @@ func main() {
 	cfg.Days = 3
 	cfg.SampleEvery = 15 * sim.Minute
 
-	res, err := sapsim.Run(cfg)
+	// Observers receive typed events on a dispatch goroutine that never
+	// blocks the simulation: per-tick Progress (coalesced under
+	// backpressure), every in-window Placement, every DRS Migration, and
+	// ArtifactReady for experiments computed incrementally.
+	var placements, failures, migrations int
+	session, err := sapsim.NewSession(cfg,
+		sapsim.WithObserverFunc(func(ev sapsim.SessionEvent) {
+			switch e := ev.(type) {
+			case sapsim.Placement:
+				if e.Failed {
+					failures++
+				} else {
+					placements++
+				}
+			case sapsim.Migration:
+				migrations++
+			}
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer session.Close()
+
+	// Drive the window day by day; between Step calls the run is paused
+	// and its live state is inspectable.
+	ticksPerDay := int(sim.Day / cfg.SampleEvery)
+	for day := 1; ; day++ {
+		done, err := session.Step(ticksPerDay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("day %d: simulated %v of %v\n", day, session.Now(), session.Horizon())
+		if done {
+			break
+		}
+	}
+	res, err := session.Result()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("region: %d data centers, %d building blocks, %d nodes\n",
+	fmt.Printf("\nregion: %d data centers, %d building blocks, %d nodes\n",
 		len(res.Region.Datacenters()), len(res.Region.BBs()), res.Region.NodeCount())
 	fmt.Printf("workload: %d VM instances over %d days (%d placement failures)\n",
 		len(res.VMs), cfg.Days, res.PlacementFailures)
-	fmt.Printf("scheduler: %d placed, %d retries; DRS migrations: %d\n\n",
+	fmt.Printf("scheduler: %d placed, %d retries; DRS migrations: %d\n",
 		res.SchedStats.Scheduled, res.SchedStats.Retries, res.DRSMigrations)
+	fmt.Printf("streamed: %d placements, %d failures, %d migrations observed live\n\n",
+		placements, failures, migrations)
 
 	// Where did the first few VMs land?
 	fmt.Println("sample placements:")

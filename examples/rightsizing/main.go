@@ -26,9 +26,24 @@ func main() {
 	cfg.SampleEvery = 30 * sim.Minute
 	cfg.VMSampleEvery = sim.Hour
 
-	res, err := sapsim.Run(cfg)
+	// Drive the window through a Session with a daily checkpoint cadence:
+	// the last checkpoint summarizes the run the recommendations are based
+	// on without touching the telemetry store.
+	session, err := sapsim.NewSession(cfg, sapsim.WithCheckpointEvery(sim.Day))
 	if err != nil {
 		log.Fatal(err)
+	}
+	defer session.Close()
+	if err := session.RunToCompletion(); err != nil {
+		log.Fatal(err)
+	}
+	res, err := session.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ckpt, ok := session.LastCheckpoint(); ok {
+		fmt.Printf("run: %d VMs live at %s, %d placements, %d migrations\n\n",
+			ckpt.LiveVMs, ckpt.At, ckpt.Scheduled, ckpt.Migrations)
 	}
 
 	// Mean usage per VM over the window, from the recorded VM series.

@@ -1,9 +1,15 @@
-// Scheduler comparison: run the same workload under three placement
-// policies — the SAP production posture (spread general, bin-pack HANA),
-// pure spreading, and contention-aware placement — and compare placement
-// success, fleet imbalance, and contention. This is the runnable form of
-// the paper's Sec. 7 guidance ("placement and dynamic rescheduling should
-// be combined", "CPU contention should be mitigated").
+// Scheduler comparison: run the same workload under every registered
+// placement policy — the SAP production posture (spread general, bin-pack
+// HANA), pure spreading, BestFit-style packing, and contention-aware
+// placement — and compare placement success, fleet imbalance, and
+// contention. This is the runnable form of the paper's Sec. 7 guidance
+// ("placement and dynamic rescheduling should be combined", "CPU contention
+// should be mitigated").
+//
+// Policies come from the sapsim policy registry (sapsim.Policies /
+// sapsim.RegisterPolicy), so nothing here hand-wires scheduler internals:
+// registering a new policy from init anywhere in the program adds a row to
+// this comparison.
 package main
 
 import (
@@ -13,50 +19,32 @@ import (
 	"sapsim"
 	"sapsim/internal/analysis"
 	"sapsim/internal/exporter"
-	"sapsim/internal/nova"
 	"sapsim/internal/sim"
 )
 
-type policy struct {
-	name   string
-	mutate func(*sapsim.Config)
-}
-
 func main() {
-	policies := []policy{
-		{"sap-production (spread gp, pack HANA)", func(cfg *sapsim.Config) {}},
-		{"spread-everything", func(cfg *sapsim.Config) {
-			cfg.Scheduler.Weighers = []nova.Weigher{
-				nova.RAMWeigher{Mult: 1, SAPPolicy: false},
-				nova.CPUWeigher{Mult: 0.5},
-			}
-			cfg.Scheduler.HANANodePolicy = nova.SpreadNodes
-		}},
-		{"contention-aware", func(cfg *sapsim.Config) {
-			cfg.ContentionFeed = true
-			cfg.Scheduler.Weighers = []nova.Weigher{
-				nova.ContentionWeigher{Mult: 2},
-				nova.RAMWeigher{Mult: 1, SAPPolicy: true},
-				nova.CPUWeigher{Mult: 0.5},
-			}
-		}},
-	}
-
-	fmt.Printf("%-40s %9s %8s %12s %12s\n",
+	fmt.Printf("%-20s %9s %8s %12s %12s\n",
 		"policy", "failures", "retries", "maxcont(%)", "spread(pts)")
-	for _, p := range policies {
+	for _, p := range sapsim.Policies() {
 		cfg := sapsim.DefaultConfig(7)
 		cfg.Scale = 0.03
 		cfg.VMs = 900
 		cfg.Days = 7
 		cfg.SampleEvery = 15 * sim.Minute
 		cfg.RecordVMMetrics = false
-		p.mutate(&cfg)
 
-		res, err := sapsim.Run(cfg)
+		session, err := sapsim.NewSession(cfg, sapsim.WithPolicy(p.Name))
 		if err != nil {
 			log.Fatal(err)
 		}
+		if err := session.RunToCompletion(); err != nil {
+			log.Fatal(err)
+		}
+		res, err := session.Result()
+		if err != nil {
+			log.Fatal(err)
+		}
+		session.Close()
 
 		maxCont := 0.0
 		for _, d := range analysis.DailyPooled(res.Store, exporter.MetricHostCPUCont, cfg.Days) {
@@ -70,8 +58,8 @@ func main() {
 		if n := len(h.Columns); n > 1 {
 			spread = h.ColumnMean(0) - h.ColumnMean(n-1)
 		}
-		fmt.Printf("%-40s %9d %8d %12.1f %12.1f\n",
-			p.name, res.PlacementFailures, res.SchedStats.Retries, maxCont, spread)
+		fmt.Printf("%-20s %9d %8d %12.1f %12.1f\n",
+			p.Name, res.PlacementFailures, res.SchedStats.Retries, maxCont, spread)
 	}
 	fmt.Println("\nreading: packing concentrates load (higher contention, wider spread);")
 	fmt.Println("contention-aware placement trades a little balance for fewer hot spots.")

@@ -21,14 +21,24 @@ import (
 )
 
 func main() {
-	// Phase 1: the "measurement" run, producing the released dataset.
+	// Phase 1: the "measurement" run, producing the released dataset. The
+	// Session form keeps the measurement observable; the blocking
+	// sapsim.Run(cfg) wrapper would produce identical bytes.
 	cfg := sapsim.DefaultConfig(5)
 	cfg.Scale = 0.02
 	cfg.VMs = 350
 	cfg.Days = 5
 	cfg.SampleEvery = sim.Hour
 	cfg.VMSampleEvery = sim.Hour
-	res, err := sapsim.Run(cfg)
+	session, err := sapsim.NewSession(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer session.Close()
+	if err := session.RunToCompletion(); err != nil {
+		log.Fatal(err)
+	}
+	res, err := session.Result()
 	if err != nil {
 		log.Fatal(err)
 	}

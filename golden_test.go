@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -63,6 +64,12 @@ func TestGoldenArtifacts(t *testing.T) {
 		return
 	}
 
+	compareGoldens(t, got, order)
+}
+
+// readGoldens loads the pinned digest file.
+func readGoldens(t *testing.T) map[string]string {
+	t.Helper()
 	data, err := os.ReadFile(goldenPath)
 	if err != nil {
 		t.Fatalf("reading goldens (run with -update to create them): %v", err)
@@ -75,6 +82,12 @@ func TestGoldenArtifacts(t *testing.T) {
 		}
 		want[id] = sum
 	}
+	return want
+}
+
+func compareGoldens(t *testing.T, got map[string]string, order []string) {
+	t.Helper()
+	want := readGoldens(t)
 	if len(want) != len(order) {
 		t.Errorf("golden file has %d digests, run produced %d", len(want), len(order))
 	}
@@ -85,6 +98,73 @@ func TestGoldenArtifacts(t *testing.T) {
 		}
 		if got[id] != want[id] {
 			t.Errorf("%s: artifact drifted: digest %s, golden %s", id, got[id], want[id])
+		}
+	}
+}
+
+// TestGoldenArtifactsSession proves the Session lifecycle and the Run
+// compatibility wrapper emit identical artifacts: the same goldens must
+// hold for a run driven through NewSession with uneven Step boundaries,
+// both for artifacts computed from the final Result and for artifacts
+// streamed incrementally as ArtifactReady events mid-run.
+func TestGoldenArtifactsSession(t *testing.T) {
+	if *updateGolden {
+		t.Skip("goldens are blessed through TestGoldenArtifacts")
+	}
+	var mu sync.Mutex
+	streamed := make(map[string]string)
+	s, err := NewSession(goldenConfig(),
+		WithIncrementalArtifacts(),
+		WithObserverFunc(func(ev SessionEvent) {
+			if a, ok := ev.(ArtifactReady); ok {
+				mu.Lock()
+				streamed[a.Artifact.ID] = fmt.Sprintf("%x", sha256.Sum256([]byte(a.Artifact.Text)))
+				mu.Unlock()
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Drive the window in deliberately uneven segments: a few ticks, a
+	// day-sized chunk, then the rest.
+	if _, err := s.Step(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(288); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(map[string]string)
+	var order []string
+	for _, exp := range Experiments() {
+		art, err := exp.Compute(res)
+		if err != nil {
+			t.Fatalf("%s: %v", exp.ID, err)
+		}
+		got[exp.ID] = fmt.Sprintf("%x", sha256.Sum256([]byte(art.Text)))
+		order = append(order, exp.ID)
+	}
+	compareGoldens(t, got, order)
+
+	// The incremental stream carries the same bytes (dispatcher drained at
+	// completion, so every ArtifactReady has been delivered).
+	mu.Lock()
+	defer mu.Unlock()
+	if len(streamed) != len(order) {
+		t.Fatalf("streamed %d artifacts, want %d", len(streamed), len(order))
+	}
+	want := readGoldens(t)
+	for _, id := range order {
+		if streamed[id] != want[id] {
+			t.Errorf("%s: streamed artifact drifted from golden: %s vs %s", id, streamed[id], want[id])
 		}
 	}
 }

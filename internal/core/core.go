@@ -11,7 +11,6 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"math/rand/v2"
 	"sort"
 
@@ -21,7 +20,6 @@ import (
 	"sapsim/internal/events"
 	"sapsim/internal/exporter"
 	"sapsim/internal/nova"
-	"sapsim/internal/placement"
 	"sapsim/internal/sim"
 	"sapsim/internal/telemetry"
 	"sapsim/internal/topology"
@@ -153,213 +151,18 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Run executes the experiment.
+// Run executes the experiment in one blocking call: NewSimulation driven
+// straight to the horizon. The step-driven Simulation form is the primary
+// API; Run remains for callers that only need the finished Result.
 func Run(cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	region, err := topology.Build(topology.DefaultBuildSpec(cfg.Scale))
+	s, err := NewSimulation(cfg, Hooks{})
 	if err != nil {
-		return nil, fmt.Errorf("core: building region: %w", err)
-	}
-	fleet := esx.NewFleet(region, cfg.ESX)
-	if cfg.HolisticNodeFit {
-		cfg.Scheduler.Filters = append(append([]nova.Filter{}, cfg.Scheduler.Filters...),
-			nova.NodeFitFilter{FitsNode: func(bb *topology.BuildingBlock, f *vmmodel.Flavor) bool {
-				for _, h := range fleet.HostsInBB(bb) {
-					if h.Fits(f) {
-						return true
-					}
-				}
-				return false
-			}})
-	}
-	sched, err := nova.NewScheduler(fleet, placement.NewService(), cfg.Scheduler)
-	if err != nil {
-		return nil, fmt.Errorf("core: scheduler: %w", err)
-	}
-	res := &Result{
-		Config:    cfg,
-		Region:    region,
-		Fleet:     fleet,
-		Store:     telemetry.NewStore(),
-		Scheduler: sched,
-		Events:    &events.Log{},
-	}
-
-	spec := workload.DefaultSpec(cfg.VMs, cfg.Seed)
-	spec.Horizon = cfg.Horizon()
-	spec.Phases = cfg.ArrivalPhases
-	instances := workload.NewGenerator(spec).Generate()
-
-	engine := sim.NewEngine()
-	live := make(map[vmmodel.ID]*vmmodel.VM)
-
-	// record appends an event; logging failures cannot occur because all
-	// appends happen in simulation-time order.
-	record := func(e events.Event) { _ = res.Events.Append(e) }
-
-	placeVM := func(in *workload.Instance, now sim.Time) {
-		res.VMs = append(res.VMs, in.VM)
-		res.Lifetimes = append(res.Lifetimes, analysis.LifetimeRecord{
-			Flavor: in.VM.Flavor, Lifetime: in.Lifetime,
-		})
-		// Events cover the observation window only; the initial
-		// population's creations predate it (in.ArriveAt <= 0).
-		inWindow := in.ArriveAt > 0
-		r, err := sched.Schedule(&nova.RequestSpec{VM: in.VM}, now)
-		if err != nil {
-			res.PlacementFailures++
-			if inWindow {
-				record(events.Event{At: now, Type: events.ScheduleFailed,
-					VM: string(in.VM.ID), Flavor: in.VM.Flavor.Name})
-			}
-			return
-		}
-		if inWindow {
-			record(events.Event{At: now, Type: events.Create,
-				VM: string(in.VM.ID), Flavor: in.VM.Flavor.Name, Target: string(r.Node.ID)})
-		}
-		live[in.VM.ID] = in.VM
-		if del := in.DeleteAt(); del < cfg.Horizon() {
-			in := in
-			engine.SchedulePriority(del, -1, func(at sim.Time) {
-				if _, ok := live[in.VM.ID]; !ok {
-					return
-				}
-				delete(live, in.VM.ID)
-				source := ""
-				if in.VM.Node != nil {
-					source = string(in.VM.Node.ID)
-				}
-				_ = sched.Delete(in.VM, at)
-				record(events.Event{At: at, Type: events.Delete,
-					VM: string(in.VM.ID), Flavor: in.VM.Flavor.Name, Source: source})
-			})
-		}
-	}
-
-	// Initial population: placed before the first sample. The paper's
-	// region is in steady state at the epoch.
-	for _, in := range instances {
-		if in.ArriveAt <= 0 {
-			placeVM(in, 0)
-		} else {
-			in := in
-			if _, err := engine.Schedule(in.ArriveAt, func(at sim.Time) {
-				placeVM(in, at)
-			}); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	// Host telemetry sampler.
-	sampler := newSampler(res, cfg)
-	if _, err := engine.Every(0, cfg.SampleEvery, sampler.sampleHosts); err != nil {
 		return nil, err
 	}
-	if cfg.RecordVMMetrics {
-		vmSampler := func(now sim.Time) { sampler.sampleVMs(now, live) }
-		if _, err := engine.Every(0, cfg.VMSampleEvery, vmSampler); err != nil {
-			return nil, err
-		}
-	}
-
-	// Rebalancers.
-	var rebalancer *drs.DRS
-	if cfg.DRS {
-		every := cfg.DRSEvery
-		if every <= 0 {
-			every = sim.Hour
-		}
-		rebalancer = drs.New(fleet, drs.DefaultConfig())
-		res.DRS = rebalancer
-		rebalancer.OnMigrate = func(vm *vmmodel.VM, from, to *topology.Node, now sim.Time) {
-			record(events.Event{At: now, Type: events.MigrateIntraBB,
-				VM: string(vm.ID), Flavor: vm.Flavor.Name,
-				Source: string(from.ID), Target: string(to.ID)})
-		}
-		if _, err := engine.Every(every, every, func(now sim.Time) {
-			rebalancer.RebalanceAll(now)
-		}); err != nil {
-			return nil, err
-		}
-	}
-	var cross *drs.CrossBB
-	if cfg.CrossBB {
-		cross = drs.NewCrossBB(fleet, sched.MoveBB)
-		cross.OnMigrate = func(vm *vmmodel.VM, from, to *topology.Node, now sim.Time) {
-			record(events.Event{At: now, Type: events.MigrateCrossBB,
-				VM: string(vm.ID), Flavor: vm.Flavor.Name,
-				Source: string(from.ID), Target: string(to.ID)})
-		}
-		if _, err := engine.Every(sim.Day, sim.Day, func(now sim.Time) {
-			cross.Rebalance(now)
-		}); err != nil {
-			return nil, err
-		}
-	}
-
-	// Resize churn: user-initiated flavor changes at the configured rate
-	// (resize is a scheduler-triggering event, Sec. 2.2).
-	if cfg.ResizeRate > 0 {
-		rng := rand.New(rand.NewPCG(cfg.Seed, 0x7e512e))
-		perDay := cfg.ResizeRate * float64(cfg.VMs) / 30
-		if _, err := engine.Every(12*sim.Hour, sim.Day, func(now sim.Time) {
-			n := int(perDay)
-			if rng.Float64() < perDay-float64(n) {
-				n++
-			}
-			for i := 0; i < n; i++ {
-				vm := pickLive(live, rng)
-				if vm == nil {
-					return
-				}
-				target := vmmodel.ResizeTarget(vm.Flavor, rng)
-				if target == nil {
-					continue
-				}
-				if _, err := sched.Resize(vm, target, now); err != nil {
-					continue
-				}
-				res.Resizes++
-				record(events.Event{At: now, Type: events.Resize,
-					VM: string(vm.ID), Flavor: target.Name,
-					Target: string(vm.Node.ID)})
-			}
-		}); err != nil {
-			return nil, err
-		}
-	}
-
-	// Scenario injectors run last so the steady-state wiring above is
-	// complete when they schedule their operational events.
-	if len(cfg.Injectors) > 0 {
-		env := &Env{
-			Engine: engine, Config: cfg, Region: region, Fleet: fleet,
-			Scheduler: sched, Result: res, live: live, record: record,
-			down: make(map[topology.NodeID]int),
-		}
-		for _, inj := range cfg.Injectors {
-			if err := inj.Inject(env); err != nil {
-				return nil, fmt.Errorf("core: injector %s: %w", inj.Name(), err)
-			}
-		}
-	}
-
-	if err := engine.Run(cfg.Horizon()); err != nil {
+	if err := s.AdvanceTo(cfg.Horizon(), nil); err != nil {
 		return nil, err
 	}
-
-	if rebalancer != nil {
-		res.DRSMigrations = rebalancer.Migrations()
-	}
-	if cross != nil {
-		res.CrossBBMoves = cross.Moves()
-	}
-	res.SchedStats = sched.Stats()
-	return res, nil
+	return s.Result(), nil
 }
 
 // pickLive selects a random live VM deterministically (sorted key order).

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"sapsim/internal/analysis"
+	"sapsim/internal/drs"
+	"sapsim/internal/esx"
+	"sapsim/internal/events"
+	"sapsim/internal/nova"
+	"sapsim/internal/placement"
+	"sapsim/internal/sim"
+	"sapsim/internal/telemetry"
+	"sapsim/internal/topology"
+	"sapsim/internal/vmmodel"
+	"sapsim/internal/workload"
+)
+
+// MigrationKind distinguishes why a VM changed hosts.
+type MigrationKind string
+
+const (
+	// MigrateDRS is an intra-BB rebalancing move.
+	MigrateDRS MigrationKind = "drs"
+	// MigrateCross is a cross-BB rebalancing move.
+	MigrateCross MigrationKind = "cross-bb"
+	// MigrateEvacuation is a forced move off a failed or draining host
+	// (scenario injections through Scheduler.Evacuate).
+	MigrateEvacuation MigrationKind = "evacuation"
+)
+
+// Hooks observe a running simulation. Every hook is optional (nil hooks are
+// skipped) and fires synchronously on the engine goroutine — implementations
+// must not block and must not mutate simulation state. Hooks never receive
+// events for the pre-window epoch population (arrivals at t <= 0), matching
+// the run's event log.
+type Hooks struct {
+	// OnPlacement fires after each in-window schedule outcome, including
+	// failed evacuations (which end unplaced like a NoValidHost). node is
+	// empty and reason non-empty when placement failed.
+	OnPlacement func(now sim.Time, vm, flavor, node, reason string)
+	// OnMigration fires after each move between hosts: DRS (intra-BB),
+	// cross-BB rebalancing, and scenario-driven evacuations.
+	OnMigration func(now sim.Time, vm, flavor, from, to string, kind MigrationKind)
+	// OnTick fires after each host-telemetry sampling sweep — the
+	// simulation's heartbeat (one tick per Config.SampleEvery).
+	OnTick func(now sim.Time)
+}
+
+// Simulation is a fully assembled experiment that has not necessarily run
+// to completion yet: the phased, step-driven form of Run. NewSimulation
+// builds the region, places the epoch population, and wires samplers,
+// rebalancers, and scenario injectors; AdvanceTo then drives the engine in
+// as many segments as the caller likes. A run split across AdvanceTo
+// boundaries is bit-for-bit identical to one uninterrupted run.
+type Simulation struct {
+	cfg    Config
+	hooks  Hooks
+	res    *Result
+	engine *sim.Engine
+	live   map[vmmodel.ID]*vmmodel.VM
+
+	rebalancer *drs.DRS
+	cross      *drs.CrossBB
+
+	lastArrival sim.Time
+	finalized   bool
+}
+
+// NewSimulation assembles a simulation: topology, fleet, scheduler, epoch
+// population (placed at t=0), telemetry samplers, rebalancers, resize
+// churn, and scenario injectors. The returned simulation is positioned at
+// time zero with the whole observation window ahead of it.
+func NewSimulation(cfg Config, hooks Hooks) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	region, err := topology.Build(topology.DefaultBuildSpec(cfg.Scale))
+	if err != nil {
+		return nil, fmt.Errorf("core: building region: %w", err)
+	}
+	fleet := esx.NewFleet(region, cfg.ESX)
+	if cfg.HolisticNodeFit {
+		cfg.Scheduler.Filters = append(append([]nova.Filter{}, cfg.Scheduler.Filters...),
+			nova.NodeFitFilter{FitsNode: func(bb *topology.BuildingBlock, f *vmmodel.Flavor) bool {
+				for _, h := range fleet.HostsInBB(bb) {
+					if h.Fits(f) {
+						return true
+					}
+				}
+				return false
+			}})
+	}
+	sched, err := nova.NewScheduler(fleet, placement.NewService(), cfg.Scheduler)
+	if err != nil {
+		return nil, fmt.Errorf("core: scheduler: %w", err)
+	}
+	s := &Simulation{
+		cfg:   cfg,
+		hooks: hooks,
+		res: &Result{
+			Config:    cfg,
+			Region:    region,
+			Fleet:     fleet,
+			Store:     telemetry.NewStore(),
+			Scheduler: sched,
+			Events:    &events.Log{},
+		},
+		engine: sim.NewEngine(),
+		live:   make(map[vmmodel.ID]*vmmodel.VM),
+	}
+	res, engine, live := s.res, s.engine, s.live
+
+	spec := workload.DefaultSpec(cfg.VMs, cfg.Seed)
+	spec.Horizon = cfg.Horizon()
+	spec.Phases = cfg.ArrivalPhases
+	instances := workload.NewGenerator(spec).Generate()
+
+	// record appends an event; logging failures cannot occur because all
+	// appends happen in simulation-time order.
+	record := func(e events.Event) { _ = res.Events.Append(e) }
+
+	placeVM := func(in *workload.Instance, now sim.Time) {
+		res.VMs = append(res.VMs, in.VM)
+		res.Lifetimes = append(res.Lifetimes, analysis.LifetimeRecord{
+			Flavor: in.VM.Flavor, Lifetime: in.Lifetime,
+		})
+		// Events cover the observation window only; the initial
+		// population's creations predate it (in.ArriveAt <= 0).
+		inWindow := in.ArriveAt > 0
+		r, err := sched.Schedule(&nova.RequestSpec{VM: in.VM}, now)
+		if err != nil {
+			res.PlacementFailures++
+			if inWindow {
+				record(events.Event{At: now, Type: events.ScheduleFailed,
+					VM: string(in.VM.ID), Flavor: in.VM.Flavor.Name})
+				if hooks.OnPlacement != nil {
+					hooks.OnPlacement(now, string(in.VM.ID), in.VM.Flavor.Name, "", err.Error())
+				}
+			}
+			return
+		}
+		if inWindow {
+			record(events.Event{At: now, Type: events.Create,
+				VM: string(in.VM.ID), Flavor: in.VM.Flavor.Name, Target: string(r.Node.ID)})
+			if hooks.OnPlacement != nil {
+				hooks.OnPlacement(now, string(in.VM.ID), in.VM.Flavor.Name, string(r.Node.ID), "")
+			}
+		}
+		live[in.VM.ID] = in.VM
+		if del := in.DeleteAt(); del < cfg.Horizon() {
+			in := in
+			engine.SchedulePriority(del, -1, func(at sim.Time) {
+				if _, ok := live[in.VM.ID]; !ok {
+					return
+				}
+				delete(live, in.VM.ID)
+				source := ""
+				if in.VM.Node != nil {
+					source = string(in.VM.Node.ID)
+				}
+				_ = sched.Delete(in.VM, at)
+				record(events.Event{At: at, Type: events.Delete,
+					VM: string(in.VM.ID), Flavor: in.VM.Flavor.Name, Source: source})
+			})
+		}
+	}
+
+	// Initial population: placed before the first sample. The paper's
+	// region is in steady state at the epoch.
+	for _, in := range instances {
+		if in.ArriveAt <= 0 {
+			placeVM(in, 0)
+		} else {
+			if in.ArriveAt > s.lastArrival {
+				s.lastArrival = in.ArriveAt
+			}
+			in := in
+			if _, err := engine.Schedule(in.ArriveAt, func(at sim.Time) {
+				placeVM(in, at)
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Host telemetry sampler. OnTick fires after the sweep so observers see
+	// a consistent snapshot of the just-sampled state.
+	sampler := newSampler(res, cfg)
+	hostTick := sampler.sampleHosts
+	if hooks.OnTick != nil {
+		hostTick = func(now sim.Time) {
+			sampler.sampleHosts(now)
+			hooks.OnTick(now)
+		}
+	}
+	if _, err := engine.Every(0, cfg.SampleEvery, hostTick); err != nil {
+		return nil, err
+	}
+	if cfg.RecordVMMetrics {
+		vmSampler := func(now sim.Time) { sampler.sampleVMs(now, live) }
+		if _, err := engine.Every(0, cfg.VMSampleEvery, vmSampler); err != nil {
+			return nil, err
+		}
+	}
+
+	// Rebalancers.
+	if cfg.DRS {
+		every := cfg.DRSEvery
+		if every <= 0 {
+			every = sim.Hour
+		}
+		s.rebalancer = drs.New(fleet, drs.DefaultConfig())
+		res.DRS = s.rebalancer
+		s.rebalancer.OnMigrate = func(vm *vmmodel.VM, from, to *topology.Node, now sim.Time) {
+			record(events.Event{At: now, Type: events.MigrateIntraBB,
+				VM: string(vm.ID), Flavor: vm.Flavor.Name,
+				Source: string(from.ID), Target: string(to.ID)})
+			if hooks.OnMigration != nil {
+				hooks.OnMigration(now, string(vm.ID), vm.Flavor.Name,
+					string(from.ID), string(to.ID), MigrateDRS)
+			}
+		}
+		rebalancer := s.rebalancer
+		if _, err := engine.Every(every, every, func(now sim.Time) {
+			rebalancer.RebalanceAll(now)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.CrossBB {
+		s.cross = drs.NewCrossBB(fleet, sched.MoveBB)
+		s.cross.OnMigrate = func(vm *vmmodel.VM, from, to *topology.Node, now sim.Time) {
+			record(events.Event{At: now, Type: events.MigrateCrossBB,
+				VM: string(vm.ID), Flavor: vm.Flavor.Name,
+				Source: string(from.ID), Target: string(to.ID)})
+			if hooks.OnMigration != nil {
+				hooks.OnMigration(now, string(vm.ID), vm.Flavor.Name,
+					string(from.ID), string(to.ID), MigrateCross)
+			}
+		}
+		cross := s.cross
+		if _, err := engine.Every(sim.Day, sim.Day, func(now sim.Time) {
+			cross.Rebalance(now)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Resize churn: user-initiated flavor changes at the configured rate
+	// (resize is a scheduler-triggering event, Sec. 2.2).
+	if cfg.ResizeRate > 0 {
+		rng := rand.New(rand.NewPCG(cfg.Seed, 0x7e512e))
+		perDay := cfg.ResizeRate * float64(cfg.VMs) / 30
+		if _, err := engine.Every(12*sim.Hour, sim.Day, func(now sim.Time) {
+			n := int(perDay)
+			if rng.Float64() < perDay-float64(n) {
+				n++
+			}
+			for i := 0; i < n; i++ {
+				vm := pickLive(live, rng)
+				if vm == nil {
+					return
+				}
+				target := vmmodel.ResizeTarget(vm.Flavor, rng)
+				if target == nil {
+					continue
+				}
+				if _, err := sched.Resize(vm, target, now); err != nil {
+					continue
+				}
+				res.Resizes++
+				record(events.Event{At: now, Type: events.Resize,
+					VM: string(vm.ID), Flavor: target.Name,
+					Target: string(vm.Node.ID)})
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Scenario injectors run last so the steady-state wiring above is
+	// complete when they schedule their operational events.
+	if len(cfg.Injectors) > 0 {
+		// Injector-driven evacuations land in the event log through
+		// Env.Record; mirror them onto the hooks so observers see forced
+		// moves (and stranded VMs) alongside ordinary placements.
+		envRecord := record
+		if hooks.OnMigration != nil || hooks.OnPlacement != nil {
+			envRecord = func(e events.Event) {
+				record(e)
+				switch e.Type {
+				case events.Evacuate:
+					if hooks.OnMigration != nil {
+						hooks.OnMigration(e.At, e.VM, e.Flavor, e.Source, e.Target, MigrateEvacuation)
+					}
+				case events.EvacuateFailed:
+					if hooks.OnPlacement != nil {
+						hooks.OnPlacement(e.At, e.VM, e.Flavor, "", "evacuation failed: no valid host")
+					}
+				}
+			}
+		}
+		env := &Env{
+			Engine: engine, Config: cfg, Region: region, Fleet: fleet,
+			Scheduler: sched, Result: res, live: live, record: envRecord,
+			down: make(map[topology.NodeID]int),
+		}
+		for _, inj := range cfg.Injectors {
+			if err := inj.Inject(env); err != nil {
+				return nil, fmt.Errorf("core: injector %s: %w", inj.Name(), err)
+			}
+		}
+	}
+
+	return s, nil
+}
+
+// Now reports the current simulated time.
+func (s *Simulation) Now() sim.Time { return s.engine.Now() }
+
+// Horizon reports the end of the observation window.
+func (s *Simulation) Horizon() sim.Time { return s.cfg.Horizon() }
+
+// Done reports whether the simulation has reached its horizon.
+func (s *Simulation) Done() bool { return s.finalized }
+
+// FiredEvents reports how many engine events have executed so far.
+func (s *Simulation) FiredEvents() uint64 { return s.engine.Fired() }
+
+// LiveVMs reports how many VMs are currently resident in the fleet.
+func (s *Simulation) LiveVMs() int { return len(s.live) }
+
+// LastArrival reports the simulated time of the last in-window VM arrival:
+// once the clock passes it, the full arrival sequence (and with it every
+// lifetime record) is final.
+func (s *Simulation) LastArrival() sim.Time { return s.lastArrival }
+
+// Result returns the simulation's live result. Telemetry, events, and the
+// VM population accumulate as the clock advances; the end-of-run summary
+// counters (SchedStats, migration totals) are filled once the horizon is
+// reached.
+func (s *Simulation) Result() *Result { return s.res }
+
+// ErrFinished is returned when advancing a simulation past its horizon.
+var ErrFinished = errors.New("core: simulation already finished")
+
+// AdvanceTo drives the engine until simulated time t (clamped to the
+// horizon). When interrupt is non-nil it is consulted before every engine
+// event; a non-nil result aborts the segment immediately and is returned
+// unchanged, leaving the simulation resumable from the abort point.
+// Reaching the horizon finalizes the run's summary counters.
+func (s *Simulation) AdvanceTo(t sim.Time, interrupt func() error) error {
+	if s.finalized {
+		return ErrFinished
+	}
+	horizon := s.cfg.Horizon()
+	if t > horizon {
+		t = horizon
+	}
+	if err := s.engine.RunInterruptible(t, interrupt); err != nil {
+		return err
+	}
+	if t >= horizon {
+		s.finalize()
+	}
+	return nil
+}
+
+// finalize snapshots the end-of-run counters into the result.
+func (s *Simulation) finalize() {
+	if s.finalized {
+		return
+	}
+	s.finalized = true
+	if s.rebalancer != nil {
+		s.res.DRSMigrations = s.rebalancer.Migrations()
+	}
+	if s.cross != nil {
+		s.res.CrossBBMoves = s.cross.Moves()
+	}
+	s.res.SchedStats = s.res.Scheduler.Stats()
+}

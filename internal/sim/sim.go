@@ -256,7 +256,21 @@ func (t *Ticker) Stop() {
 // Run executes events in order until the queue empties or the next event
 // lies beyond horizon. The clock finishes at min(horizon, last event time);
 // it advances to horizon exactly when events at or beyond it remain.
+//
+// Run may be called again with a larger horizon to continue the same event
+// sequence: events at exactly the first horizon fire in the first call, so
+// a run split across any number of Run calls is identical to one
+// uninterrupted run.
 func (e *Engine) Run(horizon Time) error {
+	return e.RunInterruptible(horizon, nil)
+}
+
+// RunInterruptible is Run with a cooperative stop check: when non-nil,
+// check is consulted before each event fires, and a non-nil result stops
+// the run immediately — before the next event executes — leaving the queue
+// and clock intact so the run can resume later. The check's error is
+// returned unchanged (e.g. ctx.Err() for context-driven cancellation).
+func (e *Engine) RunInterruptible(horizon Time, check func() error) error {
 	if e.running {
 		return errors.New("sim: engine already running")
 	}
@@ -265,6 +279,11 @@ func (e *Engine) Run(horizon Time) error {
 	defer func() { e.running = false }()
 
 	for len(e.queue) > 0 {
+		if check != nil {
+			if err := check(); err != nil {
+				return err
+			}
+		}
 		ev := e.queue[0]
 		if ev.at > horizon {
 			e.now = horizon

@@ -7,7 +7,7 @@
 // an analysis layer that regenerates every table and figure of the
 // evaluation.
 //
-// Quick start:
+// Quick start (blocking wrapper):
 //
 //	res, err := sapsim.Run(sapsim.DefaultConfig(42))
 //	...
@@ -15,11 +15,21 @@
 //	    art, err := exp.Compute(res)
 //	    fmt.Println(art.Text)
 //	}
+//
+// The primary API is the Session lifecycle — composable, observable, and
+// cancellable:
+//
+//	s, _ := sapsim.NewSession(cfg, sapsim.WithContext(ctx),
+//	    sapsim.WithObserverFunc(func(ev sapsim.SessionEvent) { ... }))
+//	defer s.Close()
+//	if err := s.RunToCompletion(); err != nil { ... }
+//	res, _ := s.Result()
 package sapsim
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"sapsim/internal/analysis"
 	"sapsim/internal/core"
@@ -42,9 +52,6 @@ type Result = core.Result
 // DefaultConfig returns the laptop-scale replica of the paper's setup.
 func DefaultConfig(seed uint64) Config { return core.DefaultConfig(seed) }
 
-// Run executes an experiment.
-func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
-
 // Artifact is one regenerated table or figure.
 type Artifact struct {
 	ID    string
@@ -57,12 +64,35 @@ type Artifact struct {
 	Values map[string]float64
 }
 
+// Stage classifies the earliest lifecycle point at which an experiment's
+// inputs are final, enabling incremental artifact emission: a Session with
+// WithIncrementalArtifacts computes each artifact as soon as its stage is
+// reached instead of waiting for the full window.
+type Stage int
+
+const (
+	// StageComplete needs the full observation window (all telemetry
+	// figures). The zero value, so unannotated experiments wait for the
+	// horizon.
+	StageComplete Stage = iota
+	// StageStatic has no run-dependent inputs (tables 3-5).
+	StageStatic
+	// StageEpoch needs only the epoch population, final once the initial
+	// placement at t=0 completes (tables 1-2).
+	StageEpoch
+	// StageArrivals needs the full arrival sequence, final once the last
+	// in-window VM arrival has been processed (fig15 lifetimes).
+	StageArrivals
+)
+
 // Experiment maps one paper artifact to the code that regenerates it.
 type Experiment struct {
 	ID         string
 	Title      string
 	PaperClaim string
-	Compute    func(res *Result) (*Artifact, error)
+	// Stage marks when the experiment's inputs are final (see Stage).
+	Stage   Stage
+	Compute func(res *Result) (*Artifact, error)
 }
 
 // netFreeTransform converts a NIC rate in Kbps to free-bandwidth percent
@@ -118,9 +148,47 @@ func heatmapArtifact(id, title, claim string, h *analysis.Heatmap) *Artifact {
 	}
 }
 
+// experimentIndex is the experiment list plus its by-ID index, built
+// exactly once: Experiments and ExperimentByID share it, so the lookup map
+// and the slice cannot drift.
+type experimentIndex struct {
+	list  []Experiment
+	index map[string]int
+}
+
+var experimentCatalog = sync.OnceValue(func() experimentIndex {
+	list := buildExperiments()
+	index := make(map[string]int, len(list))
+	for i, e := range list {
+		if _, dup := index[e.ID]; dup {
+			panic(fmt.Sprintf("sapsim: duplicate experiment ID %q", e.ID))
+		}
+		index[e.ID] = i
+	}
+	return experimentIndex{list: list, index: index}
+})
+
 // Experiments returns every table and figure of the paper's evaluation, in
 // paper order. Each Compute consumes a finished Run result.
 func Experiments() []Experiment {
+	c := experimentCatalog()
+	out := make([]Experiment, len(c.list))
+	copy(out, c.list)
+	return out
+}
+
+// ExperimentByID looks up one experiment through the catalog's index (built
+// once; no linear scan).
+func ExperimentByID(id string) (Experiment, bool) {
+	c := experimentCatalog()
+	i, ok := c.index[id]
+	if !ok {
+		return Experiment{}, false
+	}
+	return c.list[i], true
+}
+
+func buildExperiments() []Experiment {
 	return []Experiment{
 		{
 			ID:         "fig5",
@@ -318,18 +386,21 @@ func Experiments() []Experiment {
 			ID:         "fig15a",
 			Title:      "Average VM lifetime per flavor, grouped by vCPU class",
 			PaperClaim: "Lifetimes span minutes to years, median ≈1 week; no monotone size→lifetime relation",
+			Stage:      StageArrivals,
 			Compute:    lifetimeExperiment("fig15a", false),
 		},
 		{
 			ID:         "fig15b",
 			Title:      "Average VM lifetime per flavor, grouped by RAM class",
 			PaperClaim: "Memory-intensive flavors exhibit significant lifetimes (stable long-term deployments)",
+			Stage:      StageArrivals,
 			Compute:    lifetimeExperiment("fig15b", true),
 		},
 		{
 			ID:         "table1",
 			Title:      "VM classification by number of vCPUs",
 			PaperClaim: "Small 28,446 · Medium 14,340 · Large 1,831 · Extra Large 738",
+			Stage:      StageEpoch,
 			Compute: func(res *Result) (*Artifact, error) {
 				return classArtifact("table1", "Table 1: classification by vCPUs", res,
 					func(f *vmmodel.Flavor) vmmodel.SizeClass { return f.VCPUClass() },
@@ -340,6 +411,7 @@ func Experiments() []Experiment {
 			ID:         "table2",
 			Title:      "VM classification by memory resources",
 			PaperClaim: "Small 991 · Medium 41,395 · Large 787 · Extra Large 2,184",
+			Stage:      StageEpoch,
 			Compute: func(res *Result) (*Artifact, error) {
 				return classArtifact("table2", "Table 2: classification by RAM", res,
 					func(f *vmmodel.Flavor) vmmodel.SizeClass { return f.RAMClass() },
@@ -350,6 +422,7 @@ func Experiments() []Experiment {
 			ID:         "table3",
 			Title:      "Comparison of prior work and the SAP Cloud Infrastructure Dataset",
 			PaperClaim: "SAP is the only public dataset with VM workloads, lifetimes to years, and 30s-300s sampling",
+			Stage:      StageStatic,
 			Compute: func(res *Result) (*Artifact, error) {
 				return &Artifact{
 					ID: "table3", Title: "Table 3: dataset comparison",
@@ -363,6 +436,7 @@ func Experiments() []Experiment {
 			ID:         "table4",
 			Title:      "Metric details for vROps and OpenStack Compute (Appendix C)",
 			PaperClaim: "14 metrics across compute-host and VM subsystems",
+			Stage:      StageStatic,
 			Compute: func(res *Result) (*Artifact, error) {
 				rows := make([][]string, 0, len(exporter.Catalog()))
 				for _, c := range exporter.Catalog() {
@@ -380,6 +454,7 @@ func Experiments() []Experiment {
 			ID:         "table5",
 			Title:      "Data center overview (Appendix D)",
 			PaperClaim: "29 DCs; studied region 9 has 1,823 hypervisors and 47,116 VMs",
+			Stage:      StageStatic,
 			Compute: func(res *Result) (*Artifact, error) {
 				rows := make([][]string, 0, len(topology.Table5))
 				for _, r := range topology.Table5 {
@@ -398,16 +473,6 @@ func Experiments() []Experiment {
 			},
 		},
 	}
-}
-
-// ExperimentByID looks up one experiment.
-func ExperimentByID(id string) (Experiment, bool) {
-	for _, e := range Experiments() {
-		if e.ID == id {
-			return e, true
-		}
-	}
-	return Experiment{}, false
 }
 
 func matcherDC(res *Result) telemetryMatcher {
