@@ -1,0 +1,70 @@
+// Command simworker is the worker half of the dispatcher split (the simd
+// of SIMQ): it books sweep cells from a dispatchd, runs each through the
+// step-driven sapsim Session, streams coalesced Progress/Checkpoint events
+// back as lease-renewing heartbeats, and delivers per-cell metrics plus
+// the full artifact-digest fingerprint. Workers are stateless: start as
+// many as you have machines, kill them freely — a dead worker's cell
+// re-books after its lease expires.
+//
+// Usage:
+//
+//	simworker -dispatcher http://host:9090 [-id NAME] [-jobs N] \
+//	          [-heartbeat D] [-poll D] [-timeout D] [-quiet]
+//
+// The worker exits 0 once the dispatcher reports the sweep drained.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sapsim/internal/dispatch"
+)
+
+func main() {
+	var (
+		dispatcher = flag.String("dispatcher", "", "dispatcher base URL, e.g. http://host:9090 (required)")
+		id         = flag.String("id", "", "worker id (default host:pid)")
+		jobs       = flag.Int("jobs", 1, "cells to run concurrently")
+		heartbeat  = flag.Duration("heartbeat", 2*time.Second, "heartbeat cadence (must be well under the dispatcher lease)")
+		poll       = flag.Duration("poll", 500*time.Millisecond, "idle re-poll interval when no cell is free")
+		timeout    = flag.Duration("timeout", 0, "wall-clock limit (0 = run until drained)")
+		quiet      = flag.Bool("quiet", false, "suppress per-cell progress lines")
+	)
+	flag.Parse()
+	if *dispatcher == "" {
+		fmt.Fprintln(os.Stderr, "simworker: -dispatcher is required")
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	w := &dispatch.Worker{
+		Dispatcher:     *dispatcher,
+		ID:             *id,
+		Concurrency:    *jobs,
+		HeartbeatEvery: *heartbeat,
+		Poll:           *poll,
+	}
+	if !*quiet {
+		w.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "simworker:", err)
+		os.Exit(1)
+	}
+}

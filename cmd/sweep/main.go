@@ -1,19 +1,35 @@
-// Command sweep runs a (scenario × scheduler-config × seed) matrix across a
-// bounded worker pool and prints a comparative report of per-scenario
-// deltas against the baseline for the headline artifacts: packing
-// efficiency, scheduling latency proxy, and migration counts.
+// Command sweep runs a (scenario × scheduler-config × seed) matrix and
+// prints a comparative report of per-scenario deltas against the baseline
+// for the headline artifacts: packing efficiency, scheduling latency
+// proxy, and migration counts.
+//
+// Three execution modes share one matrix definition:
+//
+//   - default: in-process across a bounded worker pool (-workers).
+//   - -dispatch ADDR: serve the matrix as a durable dispatcher at ADDR and
+//     let simworker processes (this machine or others) drain it. Every
+//     state transition lands in a journal (-journal, default OUT/journal),
+//     so a killed sweep resumes.
+//   - -resume DIR: reopen an interrupted dispatched sweep — finished cells
+//     keep their recorded results, in-flight ones re-run. Without
+//     -dispatch the remaining cells run in-process over loopback HTTP;
+//     with it they are served to external workers again.
+//
+// All three produce byte-identical reports for the same matrix (the
+// dispatch package's tests enforce it).
 //
 // Usage:
 //
 //	sweep [-scale F] [-vms N] [-days N] [-sample D] \
 //	      [-scenarios a,b,...] [-variants x,y,...] [-seeds 7,11,...] \
-//	      [-workers N] [-timeout D] [-out DIR] [-list]
+//	      [-workers N] [-timeout D] [-out DIR] [-diff] [-list] \
+//	      [-dispatch ADDR] [-resume DIR] [-journal DIR]
 //
 // Scenario and variant names come from the builtin libraries; -list prints
-// them. Runs are fully deterministic per seed, independent of -workers.
-// Each cell runs as its own sapsim.Session: -timeout cancels in-flight
-// cells mid-run (they report the cancellation in the run table), and
-// -progress streams per-cell completions to stderr.
+// them. Runs are fully deterministic per seed, independent of -workers and
+// of how cells are distributed. -diff fingerprints every cell (SHA-256 per
+// artifact, all 18) and prints which artifacts changed versus the baseline
+// scenario for the same variant and seed.
 package main
 
 import (
@@ -22,37 +38,43 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"sapsim"
 	"sapsim/internal/core"
+	"sapsim/internal/dispatch"
 	"sapsim/internal/scenario"
 	"sapsim/internal/sim"
 )
 
 func main() {
 	var (
-		scale     = flag.Float64("scale", 0.02, "region scale (1.0 = 1,823 hypervisors)")
-		vms       = flag.Int("vms", 960, "initial VM population per run")
-		days      = flag.Int("days", 10, "observation window in days")
-		sample    = flag.Duration("sample", 15*time.Minute, "host sampling interval")
-		scenarios = flag.String("scenarios", "", "comma-separated scenario names (default: all builtin)")
-		variants  = flag.String("variants", "default", "comma-separated variant names (\"all\" = every builtin)")
-		seeds     = flag.String("seeds", "2024", "comma-separated seeds")
-		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the whole sweep (0 = none)")
-		progress  = flag.Bool("progress", true, "print per-cell completions to stderr")
-		out       = flag.String("out", "", "directory for report.txt and runs.csv")
-		list      = flag.Bool("list", false, "list builtin scenarios and variants, then exit")
+		scale        = flag.Float64("scale", 0.02, "region scale (1.0 = 1,823 hypervisors)")
+		vms          = flag.Int("vms", 960, "initial VM population per run")
+		days         = flag.Int("days", 10, "observation window in days")
+		sample       = flag.Duration("sample", 15*time.Minute, "host sampling interval")
+		scenarioList = flag.String("scenarios", "", "comma-separated scenario names (default: all builtin)")
+		variantList  = flag.String("variants", "default", "comma-separated variant names (\"all\" = every builtin)")
+		seedList     = flag.String("seeds", "2024", "comma-separated seeds")
+		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		timeout      = flag.Duration("timeout", 0, "wall-clock limit for the whole sweep (0 = none)")
+		progress     = flag.Bool("progress", true, "print per-cell completions to stderr")
+		out          = flag.String("out", "", "directory for report.txt and runs.csv")
+		diff         = flag.Bool("diff", false, "fingerprint all artifacts per cell and print per-cell diffs vs the baseline scenario")
+		list         = flag.Bool("list", false, "list builtin scenarios and variants, then exit")
+		dispatchTo   = flag.String("dispatch", "", "serve the matrix to external simworkers at this address instead of running in-process")
+		resumeDir    = flag.String("resume", "", "resume an interrupted dispatched sweep from this journal directory")
+		journalDir   = flag.String("journal", "", "journal directory for -dispatch (default: OUT/journal, or a temp dir)")
+		checkpoint   = flag.Duration("checkpoint", 6*time.Hour, "simulated-time checkpoint cadence for dispatched workers")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println("scenarios:")
 		for _, sc := range scenario.Builtin() {
-			fmt.Printf("  %-18s %s\n", sc.Name, sc.Description)
+			fmt.Printf("  %-20s %s\n", sc.Name, sc.Description)
 		}
 		fmt.Println("variants:")
 		for _, v := range scenario.BuiltinVariants() {
@@ -61,67 +83,41 @@ func main() {
 		return
 	}
 
-	base := core.DefaultConfig(2024)
-	base.Scale = *scale
-	base.VMs = *vms
-	base.Days = *days
-	base.SampleEvery = sim.Time(*sample)
-
-	m := scenario.Matrix{Base: base, Workers: *workers}
-
-	if *scenarios == "" {
-		m.Scenarios = scenario.Builtin()
-	} else {
-		for _, name := range splitList(*scenarios) {
-			sc, err := scenario.ByName(name)
-			if err != nil {
-				fatal(err)
-			}
-			m.Scenarios = append(m.Scenarios, sc)
-		}
-	}
-
-	if *variants == "all" {
-		m.Variants = scenario.BuiltinVariants()
-	} else {
-		for _, name := range splitList(*variants) {
-			v, err := scenario.VariantByName(name)
-			if err != nil {
-				fatal(err)
-			}
-			m.Variants = append(m.Variants, v)
-		}
-	}
-
-	for _, s := range splitList(*seeds) {
-		seed, err := strconv.ParseUint(s, 10, 64)
-		if err != nil {
-			fatal(fmt.Errorf("bad seed %q: %w", s, err))
-		}
-		m.Seeds = append(m.Seeds, seed)
-	}
-
+	ctx := context.Background()
 	if *timeout > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
-		m.Context = ctx
-	}
-	total := len(m.Scenarios) * len(m.Variants) * len(m.Seeds)
-	if *progress {
-		var done atomic.Int64
-		m.OnCell = func(u scenario.CellUpdate) {
-			switch u.State {
-			case scenario.CellFinished, scenario.CellFailed, scenario.CellCanceled:
-				fmt.Fprintf(os.Stderr, "sweep: [%d/%d] %s/%s seed %d: %s\n",
-					done.Add(1), total, u.Key.Scenario, u.Key.Variant, u.Key.Seed, u.State)
-			}
-		}
 	}
 
-	fmt.Printf("sweeping %d scenarios x %d variants x %d seeds = %d runs (scale %.2f, %d VMs, %d days)\n",
-		len(m.Scenarios), len(m.Variants), len(m.Seeds), total, *scale, *vms, *days)
+	// -resume ignores the matrix flags entirely: the journal header's spec
+	// is authoritative for an interrupted sweep, so a resume must not be
+	// blocked by (or silently diverge from) whatever flags this invocation
+	// happens to carry.
+	parseSpec := func() dispatch.Spec {
+		base := core.DefaultConfig(2024)
+		base.Scale = *scale
+		base.VMs = *vms
+		base.Days = *days
+		base.SampleEvery = sim.Time(*sample)
+		spec, err := dispatch.ParseSpec(base, *scenarioList, *variantList, *seedList, sim.Time(*checkpoint))
+		if err != nil {
+			fatal(err)
+		}
+		return spec
+	}
+
+	var res *scenario.SweepResult
+	var err error
 	start := time.Now()
-	res, err := scenario.Sweep(m)
+	switch {
+	case *resumeDir != "":
+		res, err = resumeSweep(ctx, *resumeDir, *dispatchTo, *workers, *progress)
+	case *dispatchTo != "":
+		res, err = serveSweep(ctx, parseSpec(), *dispatchTo, pickJournalDir(*journalDir, *out), *progress)
+	default:
+		res, err = localSweep(ctx, parseSpec(), *workers, *diff, *progress)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -129,18 +125,30 @@ func main() {
 
 	text := scenario.Comparative(res)
 	fmt.Print(text)
+	// Dispatched cells always carry digests; print the diff whenever we
+	// have them or the user asked.
+	diffText := ""
+	if *diff || *dispatchTo != "" || *resumeDir != "" {
+		diffText = scenario.ArtifactDiff(res)
+		fmt.Print(diffText)
+	}
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(filepath.Join(*out, "report.txt"), []byte(text), 0o644); err != nil {
-			fatal(err)
+		files := map[string]string{"report.txt": text, "runs.csv": scenario.RunsCSV(res)}
+		if diffText != "" {
+			files["artifact_diff.txt"] = diffText
 		}
-		if err := os.WriteFile(filepath.Join(*out, "runs.csv"), []byte(scenario.RunsCSV(res)), 0o644); err != nil {
-			fatal(err)
+		var wrote []string
+		for name, content := range files {
+			if err := os.WriteFile(filepath.Join(*out, name), []byte(content), 0o644); err != nil {
+				fatal(err)
+			}
+			wrote = append(wrote, name)
 		}
-		fmt.Printf("\nwrote %s and %s\n", filepath.Join(*out, "report.txt"), filepath.Join(*out, "runs.csv"))
+		fmt.Printf("\nwrote %s to %s\n", strings.Join(wrote, ", "), *out)
 	}
 
 	for _, r := range res.Runs {
@@ -150,14 +158,104 @@ func main() {
 	}
 }
 
-func splitList(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if part = strings.TrimSpace(part); part != "" {
-			out = append(out, part)
+// localSweep is the in-process path: the spec expanded into the bounded
+// worker pool of scenario.Sweep — the same expansion the dispatched path
+// serves cell by cell.
+func localSweep(ctx context.Context, spec dispatch.Spec, workers int,
+	fingerprint, progress bool) (*scenario.SweepResult, error) {
+	m, err := spec.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	m.Workers = workers
+	m.Context = ctx
+	if fingerprint {
+		m.Fingerprint = func(res *core.Result) (map[string]string, error) {
+			return sapsim.ArtifactDigests(res)
 		}
 	}
-	return out
+	total := len(m.Scenarios) * len(m.Variants) * len(m.Seeds)
+	if progress {
+		var done atomic.Int64
+		m.OnCell = func(u scenario.CellUpdate) {
+			switch u.State {
+			case scenario.CellFinished, scenario.CellFailed, scenario.CellCanceled:
+				fmt.Fprintf(os.Stderr, "sweep: [%d/%d] %s/%s seed %d: %s\n",
+					done.Add(1), total, u.Key.Scenario, u.Key.Variant, u.Key.Seed, u.State)
+			}
+		}
+	}
+	fmt.Printf("sweeping %d scenarios x %d variants x %d seeds = %d runs in-process\n",
+		len(m.Scenarios), len(m.Variants), len(m.Seeds), total)
+	return scenario.Sweep(m)
+}
+
+// serveSweep is the dispatcher path: journal the matrix and serve it to
+// external simworkers until drained.
+func serveSweep(ctx context.Context, spec dispatch.Spec, addr, journalDir string, progress bool) (*scenario.SweepResult, error) {
+	q, err := dispatch.NewQueue(journalDir, spec, dispatch.QueueOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer q.Close()
+	return serveQueue(ctx, q, addr, progress)
+}
+
+// resumeSweep reopens a journal: with addr it serves the remaining cells
+// to external workers, without it they run in-process over loopback.
+func resumeSweep(ctx context.Context, dir, addr string, workers int, progress bool) (*scenario.SweepResult, error) {
+	q, err := dispatch.Resume(dir, dispatch.QueueOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer q.Close()
+	fmt.Fprintf(os.Stderr, "sweep: %s\n", q.Recovered())
+	if addr != "" {
+		return serveQueue(ctx, q, addr, progress)
+	}
+	opts := dispatch.LocalOptions{Workers: workers}
+	if progress {
+		opts.Logf = logfStderr
+	}
+	return dispatch.RunLocal(ctx, q, opts)
+}
+
+func serveQueue(ctx context.Context, q *dispatch.Queue, addr string, progress bool) (*scenario.SweepResult, error) {
+	d := dispatch.NewDispatcher(q)
+	if progress {
+		d.Logf = logfStderr
+	}
+	serveCtx, stopServe := context.WithCancel(ctx)
+	defer stopServe()
+	bound, err := d.Serve(serveCtx, addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("sweeping %d cells via dispatcher at %s (journal %s)\n",
+		len(q.Snapshot()), bound, filepath.Join(q.Dir(), dispatch.JournalName))
+	fmt.Printf("point workers here:  simworker -dispatcher http://%s\n", bound)
+	return d.WaitDrained(ctx, 0)
+}
+
+// pickJournalDir resolves the -journal default: OUT/journal when -out is
+// set, otherwise a fresh temp dir (printed, so the sweep stays resumable).
+func pickJournalDir(journal, out string) string {
+	if journal != "" {
+		return journal
+	}
+	if out != "" {
+		return filepath.Join(out, "journal")
+	}
+	dir, err := os.MkdirTemp("", "sweep-journal-*")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: journaling to %s (use -journal to choose; -resume %s to recover)\n", dir, dir)
+	return dir
+}
+
+func logfStderr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
 }
 
 func fatal(err error) {

@@ -1,0 +1,114 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sapsim"
+	"sapsim/internal/scenario"
+	"sapsim/internal/sim"
+)
+
+// CheckpointRecord is the versioned, self-contained on-disk/wire form of a
+// sapsim.Checkpoint: the run's counters at an instant plus everything
+// needed to restart the cell from scratch deterministically — the base
+// config knobs, the scenario/variant names, and the seed. Every engine
+// draw derives from the seed, so "restartable" means re-buildable and
+// re-runnable to any point with bit-identical state; the record therefore
+// needs no engine internals, only the inputs.
+type CheckpointRecord struct {
+	// Format is FormatVersion at encode time; Decode rejects mismatches.
+	Format int
+	// Key and Config restart the cell: Spec.CellConfig(Key) over a spec
+	// with Base=Config rebuilds the exact simulation.
+	Key    scenario.Key
+	Config ConfigSpec
+
+	// The sapsim.Checkpoint counters.
+	At          sim.Time
+	FiredEvents uint64
+	LiveVMs     int
+	Scheduled   int
+	Failed      int
+	Retries     int
+	Resizes     int
+	Migrations  int
+}
+
+// NewCheckpointRecord binds a session checkpoint to its cell's restart
+// information.
+func NewCheckpointRecord(key scenario.Key, base ConfigSpec, c sapsim.Checkpoint) CheckpointRecord {
+	return CheckpointRecord{
+		Format:      FormatVersion,
+		Key:         key,
+		Config:      base,
+		At:          c.At,
+		FiredEvents: c.FiredEvents,
+		LiveVMs:     c.LiveVMs,
+		Scheduled:   c.Scheduled,
+		Failed:      c.Failed,
+		Retries:     c.Retries,
+		Resizes:     c.Resizes,
+		Migrations:  c.Migrations,
+	}
+}
+
+// Checkpoint returns the embedded sapsim.Checkpoint counters.
+func (r CheckpointRecord) Checkpoint() sapsim.Checkpoint {
+	return sapsim.Checkpoint{
+		At:          r.At,
+		FiredEvents: r.FiredEvents,
+		LiveVMs:     r.LiveVMs,
+		Scheduled:   r.Scheduled,
+		Failed:      r.Failed,
+		Retries:     r.Retries,
+		Resizes:     r.Resizes,
+		Migrations:  r.Migrations,
+	}
+}
+
+// Spec returns a single-cell spec that restarts this checkpoint's cell
+// from scratch: Resume paths hand it to a worker (or a local session) and
+// the re-run reproduces the original cell byte for byte.
+func (r CheckpointRecord) Spec() Spec {
+	return Spec{
+		Base:      r.Config,
+		Scenarios: []string{r.Key.Scenario},
+		Variants:  []string{r.Key.Variant},
+		Seeds:     []uint64{r.Key.Seed},
+	}
+}
+
+// EncodeCheckpoint serializes the record, stamping the current format
+// version.
+func EncodeCheckpoint(r CheckpointRecord) ([]byte, error) {
+	r.Format = FormatVersion
+	return json.Marshal(r)
+}
+
+// Validate rejects a record from a different format version or one
+// missing its restart key. It gates every path a checkpoint enters the
+// system through: DecodeCheckpoint, Queue.Progress (a version-skewed
+// worker's heartbeat), and journal replay.
+func (r CheckpointRecord) Validate() error {
+	if r.Format != FormatVersion {
+		return fmt.Errorf("dispatch: checkpoint format %d, want %d", r.Format, FormatVersion)
+	}
+	if r.Key.Scenario == "" || r.Key.Variant == "" {
+		return fmt.Errorf("dispatch: checkpoint missing restart key")
+	}
+	return nil
+}
+
+// DecodeCheckpoint parses a serialized checkpoint and verifies its format
+// version and restart key.
+func DecodeCheckpoint(data []byte) (CheckpointRecord, error) {
+	var r CheckpointRecord
+	if err := json.Unmarshal(data, &r); err != nil {
+		return CheckpointRecord{}, fmt.Errorf("dispatch: corrupt checkpoint: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return CheckpointRecord{}, err
+	}
+	return r, nil
+}

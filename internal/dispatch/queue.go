@@ -1,0 +1,431 @@
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"sapsim/internal/scenario"
+)
+
+// Job is one cell of the sweep matrix in the queue. Jobs live in
+// scenario-major order (the order scenario.Sweep produces runs in), so
+// merging is a straight copy.
+type Job struct {
+	ID      int
+	Key     scenario.Key
+	State   JobState
+	Worker  string
+	Lease   time.Time
+	Attempt int
+
+	// Run holds the completion report for done/failed jobs.
+	Run *RunResult
+	// LastCheckpoint is the latest heartbeat snapshot while running.
+	LastCheckpoint *CheckpointRecord
+}
+
+// Stale is returned by Progress and Complete when the reporting worker no
+// longer holds the job's lease (it expired and the job was re-booked, or
+// was completed by another worker). The worker should abandon the cell.
+var ErrStale = errors.New("dispatch: lease lost")
+
+// DefaultLease is how long a booked or running job may go without a
+// heartbeat before it is re-queued.
+const DefaultLease = 30 * time.Second
+
+// DefaultMaxAttempts bounds how many times a job is re-booked after lease
+// expiries before the queue marks it failed — the cell that crashes every
+// worker that books it must not wedge the sweep forever.
+const DefaultMaxAttempts = 5
+
+// QueueOptions tune a queue.
+type QueueOptions struct {
+	// Lease is the heartbeat deadline (default DefaultLease).
+	Lease time.Duration
+	// MaxAttempts bounds bookings per job (default DefaultMaxAttempts).
+	MaxAttempts int
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (o *QueueOptions) fill() {
+	if o.Lease <= 0 {
+		o.Lease = DefaultLease
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = DefaultMaxAttempts
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+}
+
+// Queue is a durable sweep job queue: every state transition is appended
+// to an on-disk journal before it takes effect in memory, so a crashed
+// dispatcher resumes exactly where the log ends. Queue is safe for
+// concurrent use.
+type Queue struct {
+	mu      sync.Mutex
+	spec    Spec
+	jobs    []*Job
+	journal *journalWriter
+	opts    QueueOptions
+	dir     string
+
+	// recovered describes what Resume found (torn tail, skipped lines).
+	recovered string
+}
+
+// NewQueue expands the spec into per-cell jobs and creates the sweep
+// journal in dir. The directory must not already contain a journal —
+// reopen an interrupted sweep with Resume.
+func NewQueue(dir string, spec Spec, opts QueueOptions) (*Queue, error) {
+	spec.normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	opts.fill()
+	w, err := createJournal(dir, spec)
+	if err != nil {
+		return nil, err
+	}
+	q := &Queue{spec: spec, journal: w, opts: opts, dir: dir}
+	for i, key := range spec.Keys() {
+		q.jobs = append(q.jobs, &Job{ID: i, Key: key})
+	}
+	if len(q.jobs) == 0 {
+		w.close()
+		return nil, scenario.ErrEmptyMatrix
+	}
+	return q, nil
+}
+
+// Resume rebuilds a queue from dir's journal after a crash or shutdown:
+// done and failed cells keep their recorded results, and cells that were
+// queued, booked, or running are (re-)queued — their workers cannot reach
+// a restarted dispatcher, and every cell is deterministically re-runnable
+// from scratch. A torn final line or corrupt interior lines are dropped;
+// each costs at most one cell re-run.
+func Resume(dir string, opts QueueOptions) (*Queue, error) {
+	opts.fill()
+	path := filepath.Join(dir, JournalName)
+	replay, err := replayJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	spec := replay.spec
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	q := &Queue{spec: spec, opts: opts, dir: dir}
+	for i, key := range spec.Keys() {
+		q.jobs = append(q.jobs, &Job{ID: i, Key: key})
+	}
+	if len(q.jobs) == 0 {
+		return nil, scenario.ErrEmptyMatrix
+	}
+	for _, rec := range replay.records {
+		if rec.Job < 0 || rec.Job >= len(q.jobs) {
+			replay.skipped++
+			continue
+		}
+		j := q.jobs[rec.Job]
+		switch rec.T {
+		case recState:
+			st, err := jobStateFromString(rec.State)
+			if err != nil {
+				replay.skipped++
+				continue
+			}
+			j.State = st
+			j.Worker = rec.Worker
+			j.Attempt = rec.Attempt
+		case recCheckpoint:
+			if rec.Checkpoint == nil || rec.Checkpoint.Validate() != nil {
+				replay.skipped++
+				continue
+			}
+			j.LastCheckpoint = rec.Checkpoint
+		case recResult:
+			if rec.Run == nil {
+				replay.skipped++
+				continue
+			}
+			j.Run = rec.Run
+			j.Worker = rec.Worker
+			if rec.Run.Err != "" {
+				j.State = JobFailed
+			} else {
+				j.State = JobDone
+			}
+		}
+	}
+	// Whatever was in flight when the process died goes back to queued.
+	requeued := 0
+	for _, j := range q.jobs {
+		if j.State == JobBooked || j.State == JobRunning {
+			j.State = JobQueued
+			j.Worker = ""
+			requeued++
+		}
+	}
+	w, err := openJournalForAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	q.journal = w
+	// Journal the re-queues so a second resume replays to the same state
+	// without re-deriving it.
+	q.mu.Lock()
+	for _, j := range q.jobs {
+		if j.State == JobQueued && j.Attempt > 0 {
+			if err := q.appendStateLocked(j); err != nil {
+				q.mu.Unlock()
+				w.close()
+				return nil, err
+			}
+		}
+	}
+	q.mu.Unlock()
+	q.recovered = fmt.Sprintf("resumed: %d done, %d requeued", q.countDone(), requeued)
+	if replay.torn {
+		q.recovered += ", torn tail dropped"
+	}
+	if replay.skipped > 0 {
+		q.recovered += fmt.Sprintf(", %d corrupt lines skipped", replay.skipped)
+	}
+	return q, nil
+}
+
+// Spec returns the sweep's matrix spec.
+func (q *Queue) Spec() Spec { return q.spec }
+
+// Dir returns the sweep directory holding the journal.
+func (q *Queue) Dir() string { return q.dir }
+
+// Recovered describes what Resume found (empty for a fresh queue).
+func (q *Queue) Recovered() string { return q.recovered }
+
+// Close flushes and closes the journal.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.journal == nil {
+		return nil
+	}
+	err := q.journal.close()
+	q.journal = nil
+	return err
+}
+
+func (q *Queue) appendStateLocked(j *Job) error {
+	rec := journalRecord{T: recState, Job: j.ID, State: j.State.String(),
+		Worker: j.Worker, Attempt: j.Attempt}
+	if !j.Lease.IsZero() && (j.State == JobBooked || j.State == JobRunning) {
+		rec.Lease = leaseStamp(j.Lease)
+	}
+	if q.journal == nil {
+		return errors.New("dispatch: queue closed")
+	}
+	return q.journal.append(rec)
+}
+
+// reapLocked re-queues booked/running jobs whose lease expired, failing
+// jobs that exhausted their attempts. Called with the mutex held from
+// every public entry point, so no background reaper is needed: a waiting
+// worker's next /book observes expiries immediately. A transition only
+// takes effect in memory once its journal record lands (the WAL contract
+// Book follows); on an append failure the job keeps its expired lease and
+// the reap retries on the next entry point.
+func (q *Queue) reapLocked(now time.Time) {
+	for _, j := range q.jobs {
+		if (j.State == JobBooked || j.State == JobRunning) && now.After(j.Lease) {
+			prevState, prevWorker := j.State, j.Worker
+			if j.Attempt >= q.opts.MaxAttempts {
+				j.State = JobFailed
+				j.Run = &RunResult{Err: fmt.Sprintf(
+					"dispatch: abandoned after %d expired leases (last worker %s)", j.Attempt, j.Worker)}
+				if err := q.appendResultLocked(j); err != nil {
+					j.State, j.Run = prevState, nil
+				}
+				continue
+			}
+			j.State = JobQueued
+			j.Worker = ""
+			if err := q.appendStateLocked(j); err != nil {
+				j.State, j.Worker = prevState, prevWorker
+			}
+		}
+	}
+}
+
+func (q *Queue) appendResultLocked(j *Job) error {
+	if q.journal == nil {
+		return errors.New("dispatch: queue closed")
+	}
+	return q.journal.appendDurable(journalRecord{T: recResult, Job: j.ID, Worker: j.Worker, Run: j.Run})
+}
+
+// Book leases the next queued job to the worker. The second return is
+// true when the sweep is drained (every job done or failed); when false
+// with a nil job, everything unfinished is currently leased to other
+// workers and the caller should poll again.
+func (q *Queue) Book(worker string) (*Job, bool, error) {
+	if worker == "" {
+		return nil, false, errors.New("dispatch: empty worker id")
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.opts.now()
+	q.reapLocked(now)
+	drained := true
+	for _, j := range q.jobs {
+		switch j.State {
+		case JobDone, JobFailed:
+			continue
+		case JobQueued:
+			j.State = JobBooked
+			j.Worker = worker
+			j.Attempt++
+			j.Lease = now.Add(q.opts.Lease)
+			if err := q.appendStateLocked(j); err != nil {
+				j.State = JobQueued
+				j.Worker = ""
+				j.Attempt--
+				return nil, false, err
+			}
+			cp := *j
+			return &cp, false, nil
+		default:
+			drained = false
+		}
+	}
+	return nil, drained, nil
+}
+
+// Progress records a worker heartbeat for a booked/running job: the lease
+// renews and the checkpoint (if any) is journaled. Returns Stale when the
+// worker no longer holds the job.
+func (q *Queue) Progress(jobID int, worker string, ckpt *CheckpointRecord) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.opts.now()
+	q.reapLocked(now)
+	j, err := q.heldLocked(jobID, worker)
+	if err != nil {
+		return err
+	}
+	if ckpt != nil {
+		// Reject checkpoints from a different on-disk format (a
+		// version-skewed worker) before they reach the journal.
+		if verr := ckpt.Validate(); verr != nil {
+			return verr
+		}
+	}
+	j.Lease = now.Add(q.opts.Lease)
+	if j.State == JobBooked {
+		j.State = JobRunning
+		if err := q.appendStateLocked(j); err != nil {
+			return err
+		}
+	}
+	if ckpt != nil {
+		j.LastCheckpoint = ckpt
+		if q.journal == nil {
+			return errors.New("dispatch: queue closed")
+		}
+		return q.journal.append(journalRecord{T: recCheckpoint, Job: j.ID, Worker: worker, Checkpoint: ckpt})
+	}
+	return nil
+}
+
+// Complete records a worker's finished cell (durably, with an fsync).
+// Returns Stale when the worker no longer holds the job.
+func (q *Queue) Complete(jobID int, worker string, run RunResult) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reapLocked(q.opts.now())
+	j, err := q.heldLocked(jobID, worker)
+	if err != nil {
+		return err
+	}
+	j.Run = &run
+	if run.Err != "" {
+		j.State = JobFailed
+	} else {
+		j.State = JobDone
+	}
+	return q.appendResultLocked(j)
+}
+
+func (q *Queue) heldLocked(jobID int, worker string) (*Job, error) {
+	if jobID < 0 || jobID >= len(q.jobs) {
+		return nil, fmt.Errorf("dispatch: unknown job %d", jobID)
+	}
+	j := q.jobs[jobID]
+	if (j.State != JobBooked && j.State != JobRunning) || j.Worker != worker {
+		return nil, fmt.Errorf("%w: job %d is %s (held by %q)", ErrStale, jobID, j.State, j.Worker)
+	}
+	return j, nil
+}
+
+// Done reports whether every job reached a terminal state.
+func (q *Queue) Done() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reapLocked(q.opts.now())
+	return q.countDone() == len(q.jobs)
+}
+
+// countDone counts terminal jobs; callers hold the mutex or own the queue
+// exclusively (Resume).
+func (q *Queue) countDone() int {
+	n := 0
+	for _, j := range q.jobs {
+		if j.State == JobDone || j.State == JobFailed {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot reports every job's current status in scenario-major order.
+func (q *Queue) Snapshot() []JobStatus {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reapLocked(q.opts.now())
+	out := make([]JobStatus, len(q.jobs))
+	for i, j := range q.jobs {
+		st := JobStatus{ID: j.ID, Key: j.Key, State: j.State.String(),
+			Worker: j.Worker, Attempt: j.Attempt, Checkpoint: j.LastCheckpoint}
+		if j.Run != nil {
+			st.Err = j.Run.Err
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// ErrNotDrained is returned by Merged while cells are still outstanding.
+var ErrNotDrained = errors.New("dispatch: sweep not drained")
+
+// Merged assembles the finished sweep in scenario-major order — the exact
+// SweepResult (metrics, digests, error strings) a single-process
+// scenario.Sweep of the same spec produces.
+func (q *Queue) Merged() (*scenario.SweepResult, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	runs := make([]scenario.Run, len(q.jobs))
+	for i, j := range q.jobs {
+		if j.Run == nil {
+			return nil, fmt.Errorf("%w: job %d (%s/%s seed %d) is %s",
+				ErrNotDrained, j.ID, j.Key.Scenario, j.Key.Variant, j.Key.Seed, j.State)
+		}
+		runs[i] = scenario.Run{Key: j.Key, Metrics: j.Run.Metrics,
+			Digests: j.Run.Digests, Err: j.Run.Err}
+	}
+	return &scenario.SweepResult{Runs: runs}, nil
+}

@@ -1,0 +1,276 @@
+package dispatch
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"sapsim/internal/scenario"
+)
+
+// Wire types of the dispatcher protocol. Every request body and response
+// is JSON; errors travel as plain-text bodies with a non-2xx status.
+
+// BookRequest asks for the next queued cell.
+type BookRequest struct {
+	Worker string
+}
+
+// BookResponse carries a booked cell: everything a stateless worker needs
+// to run it from scratch.
+type BookResponse struct {
+	Job             int
+	Key             bookKey
+	Attempt         int
+	Base            ConfigSpec
+	CheckpointEvery int64 // sim.Time (ns)
+}
+
+// bookKey mirrors scenario.Key (kept local so the wire format is explicit).
+type bookKey struct {
+	Scenario string
+	Variant  string
+	Seed     uint64
+}
+
+// ProgressRequest is a worker heartbeat: it renews the job's lease and
+// optionally journals a checkpoint snapshot.
+type ProgressRequest struct {
+	Worker     string
+	Job        int
+	Checkpoint *CheckpointRecord `json:",omitempty"`
+}
+
+// CompleteRequest reports a finished cell.
+type CompleteRequest struct {
+	Worker string
+	Job    int
+	Run    RunResult
+}
+
+// StateResponse is the /state snapshot.
+type StateResponse struct {
+	Spec    Spec
+	Jobs    []JobStatus
+	Done    bool
+	Drained int
+	Total   int
+}
+
+// Dispatcher serves a Queue over the wire protocol. It is the simq-style
+// queue manager: workers book cells, heartbeat progress, and deliver
+// results; observers poll /state; the merged sweep is served at /result
+// once drained.
+type Dispatcher struct {
+	queue *Queue
+	srv   *http.Server
+	// serveErr delivers the terminal error of a Serve'd server (nil on
+	// graceful shutdown); WaitDrained watches it so a dead listener
+	// surfaces as an error instead of an eternal poll.
+	serveErr chan error
+	// Logf, when set, receives one line per queue transition.
+	Logf func(format string, args ...any)
+}
+
+// NewDispatcher wraps a queue.
+func NewDispatcher(q *Queue) *Dispatcher {
+	return &Dispatcher{queue: q}
+}
+
+// Queue returns the dispatcher's queue.
+func (d *Dispatcher) Queue() *Queue { return d.queue }
+
+func (d *Dispatcher) logf(format string, args ...any) {
+	if d.Logf != nil {
+		d.Logf(format, args...)
+	}
+}
+
+// Handler returns the wire-protocol handler.
+func (d *Dispatcher) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /book", d.handleBook)
+	mux.HandleFunc("POST /progress", d.handleProgress)
+	mux.HandleFunc("POST /complete", d.handleComplete)
+	mux.HandleFunc("GET /state", d.handleState)
+	mux.HandleFunc("GET /result", d.handleResult)
+	return mux
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err == nil {
+		err = json.Unmarshal(body, v)
+	}
+	if err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (d *Dispatcher) handleBook(w http.ResponseWriter, r *http.Request) {
+	var req BookRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	job, drained, err := d.queue.Book(req.Worker)
+	switch {
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	case drained:
+		http.Error(w, "sweep drained", http.StatusGone)
+	case job == nil:
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		d.logf("dispatch: job %d (%s/%s seed %d) booked by %s (attempt %d)",
+			job.ID, job.Key.Scenario, job.Key.Variant, job.Key.Seed, req.Worker, job.Attempt)
+		spec := d.queue.Spec()
+		writeJSON(w, BookResponse{
+			Job:             job.ID,
+			Key:             bookKey{Scenario: job.Key.Scenario, Variant: job.Key.Variant, Seed: job.Key.Seed},
+			Attempt:         job.Attempt,
+			Base:            spec.Base,
+			CheckpointEvery: int64(spec.CheckpointEvery),
+		})
+	}
+}
+
+func (d *Dispatcher) handleProgress(w http.ResponseWriter, r *http.Request) {
+	var req ProgressRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := d.queue.Progress(req.Job, req.Worker, req.Checkpoint); err != nil {
+		if errors.Is(err, ErrStale) {
+			http.Error(w, err.Error(), http.StatusConflict)
+		} else {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+	writeJSON(w, struct{ OK bool }{true})
+}
+
+func (d *Dispatcher) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := d.queue.Complete(req.Job, req.Worker, req.Run); err != nil {
+		if errors.Is(err, ErrStale) {
+			http.Error(w, err.Error(), http.StatusConflict)
+		} else {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+	outcome := "done"
+	if req.Run.Err != "" {
+		outcome = "failed: " + req.Run.Err
+	}
+	d.logf("dispatch: job %d completed by %s: %s", req.Job, req.Worker, outcome)
+	writeJSON(w, struct{ OK bool }{true})
+}
+
+func (d *Dispatcher) handleState(w http.ResponseWriter, r *http.Request) {
+	jobs := d.queue.Snapshot()
+	drained := 0
+	for _, j := range jobs {
+		if j.State == JobDone.String() || j.State == JobFailed.String() {
+			drained++
+		}
+	}
+	writeJSON(w, StateResponse{
+		Spec: d.queue.Spec(), Jobs: jobs,
+		Done: drained == len(jobs), Drained: drained, Total: len(jobs),
+	})
+}
+
+func (d *Dispatcher) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, err := d.queue.Merged()
+	if err != nil {
+		if errors.Is(err, ErrNotDrained) {
+			http.Error(w, err.Error(), http.StatusTooEarly)
+		} else {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	writeJSON(w, res)
+}
+
+// Serve listens on addr and serves the protocol until Shutdown (or ctx
+// cancellation). It reports the bound address through the returned
+// listener-address string, which matters for addr ":0" in tests and
+// examples.
+func (d *Dispatcher) Serve(ctx context.Context, addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("dispatch: listen %s: %w", addr, err)
+	}
+	d.srv = &http.Server{Handler: d.Handler()}
+	d.serveErr = make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = d.srv.Shutdown(shutdownCtx)
+	}()
+	go func() {
+		err := d.srv.Serve(ln)
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		if err != nil {
+			d.logf("dispatch: serve: %v", err)
+		}
+		d.serveErr <- err
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown stops the HTTP server (the queue stays open; Close it
+// separately).
+func (d *Dispatcher) Shutdown(ctx context.Context) error {
+	if d.srv == nil {
+		return nil
+	}
+	return d.srv.Shutdown(ctx)
+}
+
+// WaitDrained polls until every cell is terminal, then returns the merged
+// sweep. Poll is how often to check (default 200ms).
+func (d *Dispatcher) WaitDrained(ctx context.Context, poll time.Duration) (*scenario.SweepResult, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	serveErr := d.serveErr
+	for {
+		if d.queue.Done() {
+			return d.queue.Merged()
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case err := <-serveErr:
+			if err != nil {
+				return nil, fmt.Errorf("dispatch: server died: %w", err)
+			}
+			serveErr = nil // graceful shutdown; keep polling the queue
+		case <-t.C:
+		}
+	}
+}

@@ -1,0 +1,353 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"sapsim"
+	"sapsim/internal/scenario"
+	"sapsim/internal/sim"
+)
+
+// errDrained signals the dispatcher reported the sweep complete (410).
+var errDrained = errors.New("dispatch: sweep drained")
+
+// WorkerHooks observe a worker's lifecycle; tests use them to kill a
+// worker mid-cell deterministically.
+type WorkerHooks struct {
+	// OnBook fires after a cell is booked, before it runs.
+	OnBook func(job int, key scenario.Key)
+	// OnCheckpoint fires when the running cell takes a checkpoint (on the
+	// session's event-dispatch goroutine, at the spec's simulated-time
+	// cadence — guaranteed mid-run, however fast the cell runs on the
+	// wall clock).
+	OnCheckpoint func(job int, rec CheckpointRecord)
+	// OnHeartbeat fires after each accepted heartbeat.
+	OnHeartbeat func(job int, ckpt *CheckpointRecord)
+}
+
+// Worker is the simd half of the dispatcher split: a stateless loop that
+// books cells, runs each through the step-driven sapsim Session, streams
+// coalesced Progress/Checkpoint events back as lease-renewing heartbeats,
+// and delivers per-cell metrics plus artifact digests. Workers hold no
+// sweep state — kill one at any point and its cells re-book elsewhere
+// after the lease expires.
+type Worker struct {
+	// Dispatcher is the base URL (http://host:port).
+	Dispatcher string
+	// ID names the worker in bookings and the journal. Defaults to
+	// host:pid.
+	ID string
+	// HeartbeatEvery is the wall-clock heartbeat cadence (default 2s; the
+	// lease must comfortably exceed it).
+	HeartbeatEvery time.Duration
+	// Poll is the idle re-poll interval when no cell is free (default
+	// 500ms).
+	Poll time.Duration
+	// Concurrency is how many cells run at once (default 1).
+	Concurrency int
+	// Client overrides the HTTP client.
+	Client *http.Client
+	// Logf, when set, receives one line per cell transition.
+	Logf func(format string, args ...any)
+	// Hooks observe the lifecycle (tests).
+	Hooks WorkerHooks
+	// Fingerprint computes the cell's artifact digests (default
+	// sapsim.ArtifactDigests — the full 18-artifact fingerprint).
+	Fingerprint func(*sapsim.Result) (map[string]string, error)
+}
+
+func (w *Worker) fill() {
+	if w.ID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		w.ID = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	if w.HeartbeatEvery <= 0 {
+		w.HeartbeatEvery = 2 * time.Second
+	}
+	if w.Poll <= 0 {
+		w.Poll = 500 * time.Millisecond
+	}
+	if w.Concurrency <= 0 {
+		w.Concurrency = 1
+	}
+	if w.Client == nil {
+		w.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if w.Fingerprint == nil {
+		w.Fingerprint = sapsim.ArtifactDigests
+	}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// Run books and executes cells until the dispatcher reports the sweep
+// drained (returns nil) or ctx is canceled (returns ctx.Err()). With
+// Concurrency > 1 it runs that many independent book-run loops, each
+// booking under its own derived ID ("<id>#<slot>") — the queue's stale
+// detection is per worker-ID, so two slots of one process must never be
+// able to hold (and heartbeat) the same cell.
+func (w *Worker) Run(ctx context.Context) error {
+	w.fill()
+	if w.Concurrency == 1 {
+		return w.loop(ctx, w.ID)
+	}
+	errs := make([]error, w.Concurrency)
+	var wg sync.WaitGroup
+	for i := 0; i < w.Concurrency; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			errs[slot] = w.loop(ctx, fmt.Sprintf("%s#%d", w.ID, slot))
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+func (w *Worker) loop(ctx context.Context, id string) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		booked, err := w.book(ctx, id)
+		switch {
+		case errors.Is(err, errDrained):
+			return nil
+		case err != nil:
+			// Transient dispatcher unavailability: back off and retry.
+			w.logf("worker %s: book: %v", id, err)
+			fallthrough
+		case booked == nil:
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(w.Poll):
+			}
+			continue
+		}
+		if w.Hooks.OnBook != nil {
+			w.Hooks.OnBook(booked.Job, scenario.Key{Scenario: booked.Key.Scenario,
+				Variant: booked.Key.Variant, Seed: booked.Key.Seed})
+		}
+		if err := w.runCell(ctx, id, booked); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			// Lease lost or dispatcher gone: abandon the cell and ask for
+			// the next one; the queue re-books it.
+			w.logf("worker %s: job %d abandoned: %v", id, booked.Job, err)
+		}
+	}
+}
+
+// book asks for the next cell: (nil, nil) means nothing free right now.
+func (w *Worker) book(ctx context.Context, id string) (*BookResponse, error) {
+	var resp BookResponse
+	status, err := w.post(ctx, "/book", BookRequest{Worker: id}, &resp)
+	switch {
+	case err != nil:
+		return nil, err
+	case status == http.StatusGone:
+		return nil, errDrained
+	case status == http.StatusNoContent:
+		return nil, nil
+	case status != http.StatusOK:
+		return nil, fmt.Errorf("dispatch: book: status %d", status)
+	}
+	return &resp, nil
+}
+
+// runCell executes one booked cell through a sapsim Session, heartbeating
+// the latest coalesced checkpoint at HeartbeatEvery, and completes it.
+func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) error {
+	key := scenario.Key{Scenario: booked.Key.Scenario, Variant: booked.Key.Variant, Seed: booked.Key.Seed}
+	spec := Spec{Base: booked.Base}
+	spec.Base.Seed = key.Seed
+	cfg, err := spec.CellConfig(key)
+	if err != nil {
+		// The cell cannot be built on this worker (unknown scenario or
+		// variant name — version skew): report it as a failed run.
+		return w.complete(ctx, id, booked.Job, RunResult{Err: err.Error()})
+	}
+
+	w.logf("worker %s: job %d (%s/%s seed %d) starting", id, booked.Job,
+		key.Scenario, key.Variant, key.Seed)
+
+	// Cell context: canceled when the dispatcher declares the lease lost,
+	// so the engine unwinds mid-tick instead of wasting a dead cell.
+	cellCtx, cancelCell := context.WithCancelCause(ctx)
+	defer cancelCell(nil)
+
+	// latest holds the freshest checkpoint; the heartbeat loop posts it at
+	// its own wall-clock pace — Progress events coalesce in the session
+	// dispatcher, checkpoints coalesce here.
+	var (
+		mu     sync.Mutex
+		latest *CheckpointRecord
+	)
+	every := sim.Time(booked.CheckpointEvery)
+	session, err := sapsim.NewSession(cfg,
+		sapsim.WithContext(cellCtx),
+		sapsim.WithCheckpointEvery(every),
+		sapsim.WithObserverFunc(func(ev sapsim.SessionEvent) {
+			if c, ok := ev.(sapsim.Checkpoint); ok {
+				rec := NewCheckpointRecord(key, spec.Base, c)
+				mu.Lock()
+				latest = &rec
+				mu.Unlock()
+				if w.Hooks.OnCheckpoint != nil {
+					w.Hooks.OnCheckpoint(booked.Job, rec)
+				}
+			}
+		}))
+	if err != nil {
+		return w.complete(ctx, id, booked.Job, RunResult{Err: err.Error()})
+	}
+	defer session.Close()
+
+	// Heartbeat loop: renew the lease even before the first checkpoint,
+	// and stop when the cell finishes.
+	hbDone := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(w.HeartbeatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbDone:
+				return
+			case <-cellCtx.Done():
+				return
+			case <-t.C:
+			}
+			mu.Lock()
+			ckpt := latest
+			mu.Unlock()
+			var ok struct{ OK bool }
+			status, err := w.post(cellCtx, "/progress",
+				ProgressRequest{Worker: id, Job: booked.Job, Checkpoint: ckpt}, &ok)
+			if err != nil {
+				continue // transient; the lease outlives several heartbeats
+			}
+			if status == http.StatusConflict {
+				cancelCell(ErrStale)
+				return
+			}
+			if status != http.StatusOK {
+				// Rejected heartbeat (bad request, server error): the lease
+				// is not renewing. Log it — if this persists the lease
+				// expires, the cell re-books elsewhere, and the next
+				// heartbeat's 409 cancels this run.
+				w.logf("worker %s: job %d heartbeat rejected: status %d", id, booked.Job, status)
+			}
+			if status == http.StatusOK {
+				// The checkpoint is journaled; don't re-send an unchanged
+				// one — later heartbeats renew the lease with a nil
+				// checkpoint until the session produces a fresh snapshot,
+				// keeping the WAL proportional to state changes, not wall
+				// time.
+				mu.Lock()
+				if latest == ckpt {
+					latest = nil
+				}
+				mu.Unlock()
+				if w.Hooks.OnHeartbeat != nil {
+					w.Hooks.OnHeartbeat(booked.Job, ckpt)
+				}
+			}
+		}
+	}()
+
+	runErr := session.RunToCompletion()
+	close(hbDone)
+	hbWG.Wait()
+
+	if runErr != nil {
+		if cause := context.Cause(cellCtx); errors.Is(cause, ErrStale) {
+			return fmt.Errorf("job %d: %w", booked.Job, ErrStale)
+		}
+		if cellCtx.Err() != nil {
+			return cellCtx.Err()
+		}
+		// Deterministic run failure: record it, exactly as scenario.Sweep
+		// records the cell's error string.
+		return w.complete(ctx, id, booked.Job, RunResult{Err: runErr.Error()})
+	}
+
+	res, err := session.Result()
+	if err != nil {
+		return w.complete(ctx, id, booked.Job, RunResult{Err: err.Error()})
+	}
+	run := RunResult{Metrics: scenario.Extract(res)}
+	digests, err := w.Fingerprint(res)
+	if err != nil {
+		run.Err = "fingerprint: " + err.Error()
+	}
+	run.Digests = digests
+	w.logf("worker %s: job %d finished", id, booked.Job)
+	return w.complete(ctx, id, booked.Job, run)
+}
+
+func (w *Worker) complete(ctx context.Context, id string, job int, run RunResult) error {
+	var ok struct{ OK bool }
+	status, err := w.post(ctx, "/complete", CompleteRequest{Worker: id, Job: job, Run: run}, &ok)
+	if err != nil {
+		return err
+	}
+	switch status {
+	case http.StatusOK:
+		return nil
+	case http.StatusConflict:
+		return fmt.Errorf("job %d: %w", job, ErrStale)
+	default:
+		return fmt.Errorf("dispatch: complete: status %d", status)
+	}
+}
+
+// post sends one JSON request and decodes a 200 response into out.
+func (w *Worker) post(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Dispatcher+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && out != nil {
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return resp.StatusCode, err
+		}
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("dispatch: decoding %s response: %w", path, err)
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode, nil
+}

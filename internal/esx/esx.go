@@ -348,6 +348,18 @@ func NewFleet(region *topology.Region, cfg Config) *Fleet {
 	return f
 }
 
+// AddHost wraps a node added to the topology after fleet construction — a
+// capacity expansion — in a Host and registers it. Adding a node that is
+// already managed returns the existing host unchanged.
+func (f *Fleet) AddHost(n *topology.Node) *Host {
+	if h, ok := f.hosts[n.ID]; ok {
+		return h
+	}
+	h := &Host{Node: n, cfg: f.cfg, vms: make(map[vmmodel.ID]*vmmodel.VM)}
+	f.hosts[n.ID] = h
+	return h
+}
+
 // Config returns the fleet-wide hypervisor policy.
 func (f *Fleet) Config() Config { return f.cfg }
 

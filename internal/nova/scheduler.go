@@ -342,6 +342,26 @@ func (s *Scheduler) RefreshInventory(bb *topology.BuildingBlock) error {
 		placement.Inventory{Total: alloc.MemCapMB, AllocationRatio: 1})
 }
 
+// RegisterBB creates a placement resource provider for a building block
+// added to the region after scheduler construction — a mid-run capacity
+// expansion. For a block that already has a provider it degrades to
+// RefreshInventory, so callers can use it idempotently for both brand-new
+// and grown blocks.
+func (s *Scheduler) RegisterBB(bb *topology.BuildingBlock) error {
+	alloc := s.fleet.BBAlloc(bb)
+	inv := map[placement.ResourceClass]placement.Inventory{
+		placement.VCPU:     {Total: int64(alloc.VCPUCap), AllocationRatio: 1},
+		placement.MemoryMB: {Total: alloc.MemCapMB, AllocationRatio: 1},
+	}
+	if _, err := s.placement.CreateProvider(string(bb.ID), inv, TraitsOfBB(bb)...); err != nil {
+		if errors.Is(err, placement.ErrDuplicateProvider) {
+			return s.RefreshInventory(bb)
+		}
+		return fmt.Errorf("nova: provider for %s: %w", bb.ID, err)
+	}
+	return nil
+}
+
 // MoveBB migrates a VM to a node in a different building block, updating
 // the placement allocation (cross-BB rebalancing requires "manual
 // intervention or external rebalancers", Sec. 3.1).

@@ -249,6 +249,202 @@ func (d MaintenanceDrain) Inject(env *core.Env) error {
 	return nil
 }
 
+// CorrelatedFailures models failure bursts that are correlated in space:
+// instead of independent node failures scattered across the region, each
+// burst concentrates inside one building block of a single seed-chosen
+// availability zone — the shared power feed, top-of-rack switch, or bad
+// firmware rollout that takes out neighbors together. Successive bursts
+// march through the same AZ's building blocks, Spacing apart, so the
+// surviving blocks of that zone absorb wave after wave of evacuations.
+type CorrelatedFailures struct {
+	// At is the first burst instant.
+	At sim.Time
+	// Bursts is the number of bursts (default 3).
+	Bursts int
+	// Spacing separates successive bursts (default 6 hours).
+	Spacing sim.Time
+	// Fraction of each victim block's active hosts that fail per burst
+	// (default 0.5 — a correlated failure takes out most of a rack).
+	Fraction float64
+	// Recover is the per-host outage duration; zero means the hosts never
+	// return.
+	Recover sim.Time
+	// Salt decorrelates the selection from other seeded injections.
+	Salt uint64
+}
+
+// Name implements core.Injector.
+func (CorrelatedFailures) Name() string { return "correlated-failures" }
+
+// Inject implements core.Injector.
+func (cf CorrelatedFailures) Inject(env *core.Env) error {
+	if cf.Fraction < 0 || cf.Fraction > 1 {
+		return fmt.Errorf("correlated-failures: bad fraction=%g", cf.Fraction)
+	}
+	bursts := cf.Bursts
+	if bursts <= 0 {
+		bursts = 3
+	}
+	spacing := cf.Spacing
+	if spacing <= 0 {
+		spacing = 6 * sim.Hour
+	}
+	fraction := cf.Fraction
+	if fraction == 0 {
+		fraction = 0.5
+	}
+	if len(env.Region.AZs) == 0 {
+		return fmt.Errorf("correlated-failures: region has no availability zones")
+	}
+	// All selection draws happen at injection time so the burst schedule is
+	// fixed up front: one zone for the whole campaign, then one victim
+	// block per burst, cycling through the zone's blocks in permuted order.
+	rng := injectionStream(env, 0xc0221e1a^cf.Salt)
+	az := env.Region.AZs[rng.IntN(len(env.Region.AZs))]
+	var blocks []*topology.BuildingBlock
+	for _, dc := range az.DCs {
+		for _, bb := range dc.BBs {
+			if !bb.Reserved && len(bb.Nodes) > 1 {
+				blocks = append(blocks, bb)
+			}
+		}
+	}
+	if len(blocks) == 0 {
+		return fmt.Errorf("correlated-failures: zone %s has no failable building blocks", az.Name)
+	}
+	perm := rng.Perm(len(blocks))
+	for i := 0; i < bursts; i++ {
+		bb := blocks[perm[i%len(blocks)]]
+		burstRNG := rand.New(rand.NewPCG(env.Config.Seed, 0xb325^cf.Salt^uint64(i)))
+		if _, err := env.Engine.Schedule(cf.At+sim.Time(i)*spacing, func(now sim.Time) {
+			var active []*esx.Host
+			for _, h := range env.Fleet.HostsInBB(bb) {
+				if !h.Node.Maintenance {
+					active = append(active, h)
+				}
+			}
+			n := int(math.Ceil(fraction * float64(len(active))))
+			if n > len(active) {
+				n = len(active)
+			}
+			if n == 0 {
+				return
+			}
+			hostPerm := burstRNG.Perm(len(active))
+			failed := make([]*esx.Host, n)
+			for j := 0; j < n; j++ {
+				failed[j] = active[hostPerm[j]]
+			}
+			sort.Slice(failed, func(a, b int) bool { return failed[a].Node.ID < failed[b].Node.ID })
+			// The whole burst lands at once: evacuations must not target a
+			// host failing in the same instant.
+			for _, h := range failed {
+				env.TakeDown(h.Node)
+			}
+			refreshBBs(env, failed)
+			for _, h := range failed {
+				evacuateHost(env, h, now)
+			}
+			if cf.Recover > 0 {
+				_, _ = env.Engine.Schedule(now+cf.Recover, func(sim.Time) {
+					restoreHosts(env, failed)
+				})
+			}
+		}); err != nil {
+			return fmt.Errorf("correlated-failures: %w", err)
+		}
+	}
+	return nil
+}
+
+// CapacityExpansion grows the region mid-run: newly delivered
+// general-purpose building blocks join a seed-chosen data center while the
+// fleet is live, entering the placement service through
+// Scheduler.RegisterBB (which re-syncs inventory for blocks that already
+// exist). New nodes clone the capacity of the host DC's existing
+// general-purpose hardware, start empty, and are picked up by the
+// scheduler, DRS, and the telemetry samplers from their arrival tick on.
+type CapacityExpansion struct {
+	// At is the first block's arrival instant.
+	At sim.Time
+	// Nodes per added block (default 8).
+	Nodes int
+	// Blocks is how many blocks arrive (default 1), spaced Every apart.
+	Blocks int
+	// Every separates successive block arrivals (default 1 day).
+	Every sim.Time
+	// Salt decorrelates the DC choice from other seeded injections.
+	Salt uint64
+}
+
+// Name implements core.Injector.
+func (CapacityExpansion) Name() string { return "capacity-expansion" }
+
+// Inject implements core.Injector. The blocks are created here, at
+// injection time — where topology errors (duplicate IDs from two
+// expansions targeting the same DC, bad capacity) can still fail the run
+// loudly — with every node parked out of service and no placement
+// provider, so nothing schedules onto or samples them. Each block's
+// scheduled arrival then only brings the pre-built nodes into service and
+// registers the provider, which cannot fail.
+func (ce CapacityExpansion) Inject(env *core.Env) error {
+	nodes := ce.Nodes
+	if nodes <= 0 {
+		nodes = 8
+	}
+	blocks := ce.Blocks
+	if blocks <= 0 {
+		blocks = 1
+	}
+	every := ce.Every
+	if every <= 0 {
+		every = sim.Day
+	}
+	dcs := env.Region.Datacenters()
+	if len(dcs) == 0 {
+		return fmt.Errorf("capacity-expansion: region has no data centers")
+	}
+	rng := injectionStream(env, 0xca9ac17e^ce.Salt)
+	dc := dcs[rng.IntN(len(dcs))]
+	// Clone the capacity of the DC's existing general-purpose nodes so the
+	// expansion matches the installed hardware generation.
+	var template *topology.Node
+	for _, bb := range dc.BBs {
+		if bb.Kind == topology.GeneralPurpose && !bb.Reserved && len(bb.Nodes) > 0 {
+			template = bb.Nodes[0]
+			break
+		}
+	}
+	if template == nil {
+		return fmt.Errorf("capacity-expansion: DC %s has no general-purpose block to clone", dc.Name)
+	}
+	for i := 0; i < blocks; i++ {
+		// Salt in the ID keeps two differently-salted expansions of the
+		// same DC from colliding.
+		id := topology.BBID(fmt.Sprintf("%s-exp%02x-%02d", dc.Name, ce.Salt&0xff, i))
+		bb, err := dc.AddBB(id, topology.GeneralPurpose, nodes, template.Capacity)
+		if err != nil {
+			return fmt.Errorf("capacity-expansion: %w", err)
+		}
+		for _, n := range bb.Nodes {
+			env.Fleet.AddHost(n)
+			env.TakeDown(n) // undelivered: invisible until arrival
+		}
+		if _, err := env.Engine.Schedule(ce.At+sim.Time(i)*every, func(sim.Time) {
+			for _, n := range bb.Nodes {
+				env.BringUp(n)
+			}
+			// The provider cannot pre-exist (AddBB guarantees a fresh
+			// ID), so registration reduces to CreateProvider and cannot
+			// fail; RegisterBB still degrades to a refresh defensively.
+			_ = env.Scheduler.RegisterBB(bb)
+		}); err != nil {
+			return fmt.Errorf("capacity-expansion: %w", err)
+		}
+	}
+	return nil
+}
+
 // ResizeWave resizes a seed-derived subset of the live population at one
 // instant — the scheduled mass-resize campaigns (OS upgrades, license
 // right-sizing) that hit production schedulers as a thundering herd.

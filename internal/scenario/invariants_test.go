@@ -6,8 +6,10 @@ import (
 	"testing"
 
 	"sapsim/internal/core"
+	"sapsim/internal/events"
 	"sapsim/internal/sim"
 	"sapsim/internal/vmmodel"
+	"sapsim/internal/workload"
 )
 
 // drsMonotoneProbe hooks the DRS decision stream and records any migration
@@ -89,5 +91,82 @@ func TestInvariantsDetectViolations(t *testing.T) {
 	victim.Node = nil // placement pointer now disagrees with residency
 	if err := CheckInvariants(res); err == nil {
 		t.Fatal("checker accepted a corrupted placement pointer")
+	}
+}
+
+// TestCorrelatedFailuresInvariants drives the correlated-burst scenario —
+// three bursts inside one AZ, half of each victim block down — and audits
+// the full invariant suite plus the burst structure: evacuations happen,
+// the structural books balance, and after recovery no node stays dark.
+func TestCorrelatedFailuresInvariants(t *testing.T) {
+	sc := &Scenario{Name: "cf", Injections: []core.Injector{
+		CorrelatedFailures{At: sim.Day, Bursts: 3, Spacing: 6 * sim.Hour,
+			Fraction: 0.5, Recover: 12 * sim.Hour},
+	}}
+	res := runScenario(t, sc, 3)
+	if err := CheckInvariants(res); err != nil {
+		t.Fatal(err)
+	}
+	counts := res.Events.CountByType()
+	if counts[events.Evacuate]+counts[events.EvacuateFailed] == 0 {
+		t.Fatalf("correlated bursts displaced nobody: %v", counts)
+	}
+	for _, h := range res.Fleet.Hosts() {
+		if h.Node.Maintenance {
+			t.Fatalf("node %s still dark after recovery window", h.Node.ID)
+		}
+	}
+	// Determinism: the same seed reproduces the same burst outcome.
+	again := runScenario(t, sc, 3)
+	againCounts := again.Events.CountByType()
+	if counts[events.Evacuate] != againCounts[events.Evacuate] ||
+		counts[events.EvacuateFailed] != againCounts[events.EvacuateFailed] {
+		t.Fatalf("burst outcome not deterministic: %v vs %v", counts, againCounts)
+	}
+}
+
+// TestCapacityExpansionInvariants grows the region mid-run and audits the
+// result: the new blocks exist with live hosts, the invariant suite still
+// balances over the expanded fleet, and the new capacity actually absorbs
+// load under arrival pressure.
+func TestCapacityExpansionInvariants(t *testing.T) {
+	sc := &Scenario{
+		Name:   "ce",
+		Phases: []workload.Phase{SurgePhase(sim.Day, 3*sim.Day, 4)},
+		Injections: []core.Injector{
+			CapacityExpansion{At: sim.Day, Nodes: 6, Blocks: 2, Every: 12 * sim.Hour},
+		},
+	}
+	base, err := core.Run(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runScenario(t, sc, 3)
+	if err := CheckInvariants(res); err != nil {
+		t.Fatal(err)
+	}
+	grown := res.Region.NodeCount() - base.Region.NodeCount()
+	if grown != 12 {
+		t.Fatalf("region grew by %d nodes, want 12 (2 blocks x 6)", grown)
+	}
+	// The expansion blocks are in service and at least one absorbed VMs.
+	absorbed := 0
+	found := 0
+	for _, bb := range res.Region.BBs() {
+		if !strings.Contains(string(bb.ID), "-exp") {
+			continue
+		}
+		found++
+		alloc := res.Fleet.BBAlloc(bb)
+		if alloc.ActiveNodes != 6 {
+			t.Fatalf("expansion block %s has %d active nodes, want 6", bb.ID, alloc.ActiveNodes)
+		}
+		absorbed += alloc.VMCount
+	}
+	if found != 2 {
+		t.Fatalf("found %d expansion blocks, want 2", found)
+	}
+	if absorbed == 0 {
+		t.Fatal("no VM ever landed on the expanded capacity under a 4x surge")
 	}
 }

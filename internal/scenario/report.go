@@ -3,6 +3,7 @@ package scenario
 import (
 	"encoding/csv"
 	"fmt"
+	"sort"
 	"strings"
 
 	"sapsim/internal/report"
@@ -112,6 +113,68 @@ func RunsCSV(sr *SweepResult) string {
 		})
 	}
 	w.Flush()
+	return b.String()
+}
+
+// ArtifactDiff renders, for every (variant, seed) cell of the sweep, which
+// of the full artifact set changed relative to the baseline scenario (the
+// sweep's first) — headline metrics can agree while a heatmap shifted, so
+// the diff works on per-artifact digests (Run.Digests, populated by
+// Matrix.Fingerprint). Runs without digests are reported as not
+// fingerprinted.
+func ArtifactDiff(sr *SweepResult) string {
+	if len(sr.Runs) == 0 {
+		return "sweep: no runs\n"
+	}
+	baseline := sr.Runs[0].Key.Scenario
+	baseRuns := map[Key]Run{}
+	for _, r := range sr.Runs {
+		if r.Key.Scenario == baseline {
+			baseRuns[Key{Variant: r.Key.Variant, Seed: r.Key.Seed}] = r
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "artifact diff vs baseline scenario %q (SHA-256 per artifact)\n", baseline)
+	for _, r := range sr.Runs {
+		if r.Key.Scenario == baseline {
+			continue
+		}
+		cell := fmt.Sprintf("%s/%s seed %d", r.Key.Scenario, r.Key.Variant, r.Key.Seed)
+		base, ok := baseRuns[Key{Variant: r.Key.Variant, Seed: r.Key.Seed}]
+		switch {
+		case r.Err != "":
+			fmt.Fprintf(&b, "  %-44s run failed: %s\n", cell, r.Err)
+			continue
+		case !ok || base.Err != "":
+			fmt.Fprintf(&b, "  %-44s no baseline run to diff against\n", cell)
+			continue
+		case r.Digests == nil || base.Digests == nil:
+			fmt.Fprintf(&b, "  %-44s not fingerprinted (set Matrix.Fingerprint / -diff)\n", cell)
+			continue
+		}
+		var ids []string
+		for id := range base.Digests {
+			ids = append(ids, id)
+		}
+		for id := range r.Digests {
+			if _, dup := base.Digests[id]; !dup {
+				ids = append(ids, id)
+			}
+		}
+		sort.Strings(ids)
+		var changed []string
+		for _, id := range ids {
+			if base.Digests[id] != r.Digests[id] {
+				changed = append(changed, id)
+			}
+		}
+		if len(changed) == 0 {
+			fmt.Fprintf(&b, "  %-44s identical (%d artifacts)\n", cell, len(ids))
+			continue
+		}
+		fmt.Fprintf(&b, "  %-44s %d/%d changed: %s\n",
+			cell, len(changed), len(ids), strings.Join(changed, " "))
+	}
 	return b.String()
 }
 

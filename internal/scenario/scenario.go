@@ -109,6 +109,20 @@ func Builtin() []*Scenario {
 			Phases:      []workload.Phase{ClassShiftPhase(1*sim.Day, 5*sim.Day, vmmodel.HANA, 4)},
 		},
 		{
+			Name:        "correlated-failures",
+			Description: "three failure bursts inside one AZ's building blocks, 6 hours apart, half of each block down for a day",
+			Injections: []core.Injector{
+				CorrelatedFailures{At: 2 * sim.Day, Bursts: 3, Spacing: 6 * sim.Hour, Fraction: 0.5, Recover: sim.Day},
+			},
+		},
+		{
+			Name:        "capacity-expansion",
+			Description: "two new general-purpose building blocks join a data center on days 1 and 2",
+			Injections: []core.Injector{
+				CapacityExpansion{At: 1 * sim.Day, Nodes: 8, Blocks: 2, Every: sim.Day},
+			},
+		},
+		{
 			Name:        "resize-wave",
 			Description: "mass-resize wave on day 2: 5% of live VMs change flavor within their class",
 			Injections: []core.Injector{

@@ -49,6 +49,11 @@ type Matrix struct {
 	// must be safe for concurrent use; it must not block (it runs on the
 	// cells' engine hot loops).
 	OnCell func(CellUpdate)
+	// Fingerprint, when set, runs over each finished cell's Result and its
+	// output lands in Run.Digests — e.g. sapsim.ArtifactDigests for
+	// full artifact-set diffing between cells. It is invoked from the
+	// worker goroutines concurrently and must be safe for concurrent use.
+	Fingerprint func(*core.Result) (map[string]string, error)
 }
 
 // CellState is a sweep cell's lifecycle phase as reported to OnCell.
@@ -136,6 +141,9 @@ type Metrics struct {
 type Run struct {
 	Key     Key
 	Metrics Metrics
+	// Digests holds the cell's artifact fingerprints (artifact ID →
+	// SHA-256), populated when Matrix.Fingerprint is set.
+	Digests map[string]string `json:",omitempty"`
 	// Err is the run error, empty on success. A string (not error) so
 	// results compare byte-for-byte across worker counts.
 	Err string
@@ -253,7 +261,15 @@ func Sweep(m Matrix) (*SweepResult, error) {
 			notify(cell)
 			return
 		}
-		runs[i] = Run{Key: key, Metrics: Extract(simulation.Result())}
+		run := Run{Key: key, Metrics: Extract(simulation.Result())}
+		if m.Fingerprint != nil {
+			digests, ferr := m.Fingerprint(simulation.Result())
+			if ferr != nil {
+				run.Err = "fingerprint: " + ferr.Error()
+			}
+			run.Digests = digests
+		}
+		runs[i] = run
 		cell.State, cell.Now = CellFinished, cfg.Horizon()
 		notify(cell)
 	}

@@ -27,6 +27,7 @@
 package sapsim
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"sort"
 	"sync"
@@ -186,6 +187,23 @@ func ExperimentByID(id string) (Experiment, bool) {
 		return Experiment{}, false
 	}
 	return c.list[i], true
+}
+
+// ArtifactDigests computes every experiment over the finished run and
+// returns artifact ID → SHA-256 of the rendered text. It is the full
+// fingerprint of a run — the basis of the golden harness, of cross-cell
+// artifact diffing (cmd/sweep -diff), and of the dispatcher's byte-identity
+// guarantee for distributed sweeps.
+func ArtifactDigests(res *Result) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, exp := range Experiments() {
+		art, err := exp.Compute(res)
+		if err != nil {
+			return nil, fmt.Errorf("sapsim: %s: %w", exp.ID, err)
+		}
+		out[exp.ID] = fmt.Sprintf("%x", sha256.Sum256([]byte(art.Text)))
+	}
+	return out, nil
 }
 
 func buildExperiments() []Experiment {

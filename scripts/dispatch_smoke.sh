@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Dispatcher smoke: start dispatchd + 2 simworkers on localhost, kill one
+# worker mid-cell, and assert the lease re-book completes the sweep with a
+# merged report. Exercises the real binaries over the real wire protocol —
+# the deterministic in-process equivalent lives in internal/dispatch tests.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir" ./cmd/dispatchd ./cmd/simworker
+
+addr="127.0.0.1:${DISPATCH_SMOKE_PORT:-19199}"
+journal="$workdir/sweep"
+
+# Cells sized to run a few seconds each, so the kill lands mid-cell.
+"$workdir/dispatchd" -dir "$journal" -addr "$addr" \
+  -scale 0.08 -vms 2800 -days 8 -sample 10m \
+  -scenarios baseline,host-failures -seeds 7,11 \
+  -lease 3s -checkpoint 6h -timeout 10m \
+  >"$workdir/dispatchd.out" 2>"$workdir/dispatchd.err" &
+dispatchd_pid=$!
+
+sleep 1
+"$workdir/simworker" -dispatcher "http://$addr" -id victim -heartbeat 300ms -poll 200ms \
+  >/dev/null 2>"$workdir/victim.err" &
+victim_pid=$!
+"$workdir/simworker" -dispatcher "http://$addr" -id survivor -heartbeat 300ms -poll 200ms \
+  >/dev/null 2>"$workdir/survivor.err" &
+survivor_pid=$!
+
+# Kill the victim as soon as a booking of its is observed — mid-cell, since
+# cells run for seconds.
+killed=""
+for _ in $(seq 1 100); do
+  if grep -q 'booked by victim' "$workdir/dispatchd.err" 2>/dev/null; then
+    sleep 0.5
+    kill -9 "$victim_pid" 2>/dev/null || true
+    killed=yes
+    echo "smoke: killed victim worker mid-cell"
+    break
+  fi
+  sleep 0.2
+done
+[ -n "$killed" ] || { echo "smoke: victim never booked a cell" >&2; exit 1; }
+
+# The survivor must drain the sweep, including the re-booked cell.
+if ! wait "$dispatchd_pid"; then
+  echo "smoke: dispatchd failed" >&2
+  cat "$workdir/dispatchd.err" >&2
+  exit 1
+fi
+wait "$survivor_pid" || { echo "smoke: survivor failed" >&2; cat "$workdir/survivor.err" >&2; exit 1; }
+
+grep -q '"attempt":2' "$journal/journal.jsonl" ||
+  { echo "smoke: no lease re-book recorded in the journal" >&2; exit 1; }
+grep -q 'booked by survivor (attempt 2)' "$workdir/dispatchd.err" ||
+  { echo "smoke: the re-booked cell was not picked up by the survivor" >&2; exit 1; }
+test -s "$journal/report.txt" || { echo "smoke: no merged report written" >&2; exit 1; }
+grep -q 'host-failures' "$journal/report.txt" ||
+  { echo "smoke: merged report is missing scenarios" >&2; exit 1; }
+
+echo "smoke: sweep completed after worker kill + lease re-book"
+echo "smoke: journaled checkpoints: $(grep -c '"t":"checkpoint"' "$journal/journal.jsonl" || true)"

@@ -507,10 +507,16 @@ func (s *Session) Close() error {
 }
 
 // finish marks the session done: summary counters are final, remaining
-// incremental artifacts emit, and the dispatcher drains.
+// incremental artifacts emit, a terminal checkpoint snapshots the finished
+// run (so supervisors persisting checkpoints always hold the horizon
+// state), and the dispatcher drains.
 func (s *Session) finish() {
 	s.state = StateDone
 	s.emitReadyArtifacts(StageStatic, StageEpoch, StageArrivals, StageComplete)
+	if now := s.sim.Now(); s.opts.checkpointEvery > 0 &&
+		(!s.hasCheckpoint || s.lastCheckpoint.At < now) {
+		s.takeCheckpoint(now)
+	}
 	s.publishProgress()
 	if s.disp != nil {
 		s.disp.close()
