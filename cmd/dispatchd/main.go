@@ -9,11 +9,16 @@
 // merged report of a killed-and-resumed sweep is byte-identical to a
 // single-process `sweep` run of the same matrix.
 //
+// Workers upload every artifact body into the dispatcher's
+// content-addressed store (under -dir, deduplicated by digest), so the
+// daemon serves a browsable report bundle at /bundle while the sweep runs
+// and can materialize it to disk with -bundle once drained.
+//
 // Usage:
 //
 //	dispatchd -dir DIR [-addr :9090] [-scale F] [-vms N] [-days N] \
 //	          [-sample D] [-scenarios a,b] [-variants x,y] [-seeds 7,11] \
-//	          [-checkpoint D] [-lease D] [-timeout D] [-out DIR]
+//	          [-checkpoint D] [-lease D] [-timeout D] [-out DIR] [-bundle DIR]
 //	dispatchd -dir DIR -resume [-addr :9090] [-lease D] [-timeout D]
 package main
 
@@ -27,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"sapsim/internal/artifact"
 	"sapsim/internal/core"
 	"sapsim/internal/dispatch"
 	"sapsim/internal/scenario"
@@ -49,6 +55,7 @@ func main() {
 		lease      = flag.Duration("lease", dispatch.DefaultLease, "heartbeat deadline before a cell re-books")
 		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the whole sweep (0 = none)")
 		out        = flag.String("out", "", "report directory (default: -dir)")
+		bundle     = flag.String("bundle", "", "materialize the digest-verified report bundle into this directory once drained")
 		progress   = flag.Bool("progress", true, "log queue transitions to stderr")
 	)
 	flag.Parse()
@@ -102,6 +109,7 @@ func main() {
 	total := len(q.Snapshot())
 	fmt.Printf("dispatchd: serving %d cells at %s (journal %s)\n",
 		total, bound, filepath.Join(*dir, dispatch.JournalName))
+	fmt.Printf("dispatchd: browsable report bundle at http://%s/bundle\n", bound)
 
 	res, err := d.WaitDrained(ctx, 0)
 	if err != nil {
@@ -130,6 +138,13 @@ func main() {
 		}
 	}
 	fmt.Printf("wrote report.txt, runs.csv, artifact_diff.txt to %s\n", reportDir)
+
+	if *bundle != "" {
+		if _, err := artifact.WriteBundle(*bundle, res, q.Store()); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("materialized report bundle in %s\n", *bundle)
+	}
 
 	for _, r := range res.Runs {
 		if r.Err != "" {

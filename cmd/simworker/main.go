@@ -1,10 +1,16 @@
 // Command simworker is the worker half of the dispatcher split (the simd
 // of SIMQ): it books sweep cells from a dispatchd, runs each through the
 // step-driven sapsim Session, streams coalesced Progress/Checkpoint events
-// back as lease-renewing heartbeats, and delivers per-cell metrics plus
-// the full artifact-digest fingerprint. Workers are stateless: start as
-// many as you have machines, kill them freely — a dead worker's cell
-// re-books after its lease expires.
+// back as lease-renewing heartbeats, uploads every artifact body into the
+// dispatcher's content-addressed store (deduplicated: a HEAD probe skips
+// blobs the store already holds), and completes each cell with its
+// metrics plus digests. Workers are stateless: start as many as you have
+// machines, kill them freely — a dead worker's cell re-books after its
+// lease expires.
+//
+// -jobs advertises the worker's capacity on every booking: the dispatcher
+// weights bookings by it, leasing an N-job worker up to N cells at once,
+// so bigger machines drain the matrix proportionally faster.
 //
 // Usage:
 //

@@ -23,13 +23,22 @@
 //	sweep [-scale F] [-vms N] [-days N] [-sample D] \
 //	      [-scenarios a,b,...] [-variants x,y,...] [-seeds 7,11,...] \
 //	      [-workers N] [-timeout D] [-out DIR] [-diff] [-list] \
-//	      [-dispatch ADDR] [-resume DIR] [-journal DIR]
+//	      [-dispatch ADDR] [-resume DIR] [-journal DIR] [-bundle DIR]
 //
 // Scenario and variant names come from the builtin libraries; -list prints
 // them. Runs are fully deterministic per seed, independent of -workers and
 // of how cells are distributed. -diff fingerprints every cell (SHA-256 per
 // artifact, all 18) and prints which artifacts changed versus the baseline
 // scenario for the same variant and seed.
+//
+// -bundle DIR materializes the finished sweep as a browsable report
+// bundle: index.html, the comparative reports, one baseline-vs-scenario
+// page per scenario, and every cell's artifact bodies, each read out of
+// the content-addressed store with digest verification (SHA256SUMS in the
+// bundle re-verifies offline). In the dispatched and resumed modes the
+// bodies come from the store the workers uploaded into, under the journal
+// directory; in the in-process mode they are captured during the sweep —
+// all three produce byte-identical bundles for the same matrix.
 package main
 
 import (
@@ -43,6 +52,7 @@ import (
 	"time"
 
 	"sapsim"
+	"sapsim/internal/artifact"
 	"sapsim/internal/core"
 	"sapsim/internal/dispatch"
 	"sapsim/internal/scenario"
@@ -68,6 +78,7 @@ func main() {
 		resumeDir    = flag.String("resume", "", "resume an interrupted dispatched sweep from this journal directory")
 		journalDir   = flag.String("journal", "", "journal directory for -dispatch (default: OUT/journal, or a temp dir)")
 		checkpoint   = flag.Duration("checkpoint", 6*time.Hour, "simulated-time checkpoint cadence for dispatched workers")
+		bundleDir    = flag.String("bundle", "", "materialize a digest-verified report bundle (artifact bodies included) into this directory")
 	)
 	flag.Parse()
 
@@ -112,11 +123,11 @@ func main() {
 	start := time.Now()
 	switch {
 	case *resumeDir != "":
-		res, err = resumeSweep(ctx, *resumeDir, *dispatchTo, *workers, *progress)
+		res, err = resumeSweep(ctx, *resumeDir, *dispatchTo, *workers, *progress, *bundleDir)
 	case *dispatchTo != "":
-		res, err = serveSweep(ctx, parseSpec(), *dispatchTo, pickJournalDir(*journalDir, *out), *progress)
+		res, err = serveSweep(ctx, parseSpec(), *dispatchTo, pickJournalDir(*journalDir, *out), *progress, *bundleDir)
 	default:
-		res, err = localSweep(ctx, parseSpec(), *workers, *diff, *progress)
+		res, err = localSweep(ctx, parseSpec(), *workers, *diff, *progress, *bundleDir)
 	}
 	if err != nil {
 		fatal(err)
@@ -160,16 +171,41 @@ func main() {
 
 // localSweep is the in-process path: the spec expanded into the bounded
 // worker pool of scenario.Sweep — the same expansion the dispatched path
-// serves cell by cell.
+// serves cell by cell. With a bundle directory, every cell's artifact
+// bodies are captured into a content-addressed store as the sweep runs
+// (shared bodies stored once) and the bundle materializes at the end —
+// byte-identical to the bundle a dispatched sweep of the same matrix
+// produces.
 func localSweep(ctx context.Context, spec dispatch.Spec, workers int,
-	fingerprint, progress bool) (*scenario.SweepResult, error) {
+	fingerprint, progress bool, bundleDir string) (*scenario.SweepResult, error) {
 	m, err := spec.Matrix()
 	if err != nil {
 		return nil, err
 	}
 	m.Workers = workers
 	m.Context = ctx
-	if fingerprint {
+	var store *artifact.Store
+	if bundleDir != "" {
+		casDir, err := os.MkdirTemp("", "sweep-cas-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(casDir)
+		// Scratch store: the blobs only live until the bundle materializes,
+		// so skip the durable store's per-blob fsyncs.
+		if store, err = artifact.OpenScratch(casDir); err != nil {
+			return nil, err
+		}
+		m.Fingerprint = func(res *core.Result) (map[string]string, error) {
+			bodies, err := sapsim.ArtifactSet(res)
+			if err != nil {
+				return nil, err
+			}
+			// The same render → digest → store sequence a dispatched
+			// worker performs, minus the wire.
+			return store.Capture(bodies)
+		}
+	} else if fingerprint {
 		m.Fingerprint = func(res *core.Result) (map[string]string, error) {
 			return sapsim.ArtifactDigests(res)
 		}
@@ -187,37 +223,76 @@ func localSweep(ctx context.Context, spec dispatch.Spec, workers int,
 	}
 	fmt.Printf("sweeping %d scenarios x %d variants x %d seeds = %d runs in-process\n",
 		len(m.Scenarios), len(m.Variants), len(m.Seeds), total)
-	return scenario.Sweep(m)
+	res, err := scenario.Sweep(m)
+	if err != nil {
+		return nil, err
+	}
+	if bundleDir != "" {
+		if err := writeBundle(bundleDir, res, store); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
 }
 
 // serveSweep is the dispatcher path: journal the matrix and serve it to
 // external simworkers until drained.
-func serveSweep(ctx context.Context, spec dispatch.Spec, addr, journalDir string, progress bool) (*scenario.SweepResult, error) {
+func serveSweep(ctx context.Context, spec dispatch.Spec, addr, journalDir string,
+	progress bool, bundleDir string) (*scenario.SweepResult, error) {
 	q, err := dispatch.NewQueue(journalDir, spec, dispatch.QueueOptions{})
 	if err != nil {
 		return nil, err
 	}
 	defer q.Close()
-	return serveQueue(ctx, q, addr, progress)
+	res, err := serveQueue(ctx, q, addr, progress)
+	if err == nil && bundleDir != "" {
+		err = writeBundle(bundleDir, res, q.Store())
+	}
+	return res, err
 }
 
 // resumeSweep reopens a journal: with addr it serves the remaining cells
-// to external workers, without it they run in-process over loopback.
-func resumeSweep(ctx context.Context, dir, addr string, workers int, progress bool) (*scenario.SweepResult, error) {
+// to external workers, without it they run in-process over loopback. The
+// workers re-upload any artifact bodies the resume audit found missing or
+// damaged, so the bundle that materializes afterward is complete.
+func resumeSweep(ctx context.Context, dir, addr string, workers int,
+	progress bool, bundleDir string) (*scenario.SweepResult, error) {
 	q, err := dispatch.Resume(dir, dispatch.QueueOptions{})
 	if err != nil {
 		return nil, err
 	}
 	defer q.Close()
 	fmt.Fprintf(os.Stderr, "sweep: %s\n", q.Recovered())
+	var res *scenario.SweepResult
 	if addr != "" {
-		return serveQueue(ctx, q, addr, progress)
+		res, err = serveQueue(ctx, q, addr, progress)
+	} else {
+		opts := dispatch.LocalOptions{Workers: workers}
+		if progress {
+			opts.Logf = logfStderr
+		}
+		res, err = dispatch.RunLocal(ctx, q, opts)
 	}
-	opts := dispatch.LocalOptions{Workers: workers}
-	if progress {
-		opts.Logf = logfStderr
+	if err == nil && bundleDir != "" {
+		err = writeBundle(bundleDir, res, q.Store())
 	}
-	return dispatch.RunLocal(ctx, q, opts)
+	return res, err
+}
+
+// writeBundle materializes the report bundle and prints what landed.
+func writeBundle(dir string, res *scenario.SweepResult, store *artifact.Store) error {
+	manifest, err := artifact.WriteBundle(dir, res, store)
+	if err != nil {
+		return fmt.Errorf("bundle: %w", err)
+	}
+	bodies := 0
+	for _, c := range manifest.Cells {
+		bodies += len(c.Artifacts)
+	}
+	blobs, _ := store.Len()
+	fmt.Fprintf(os.Stderr, "sweep: bundled %d cells (%d artifact bodies, %d distinct blobs) into %s\n",
+		len(manifest.Cells), bodies, blobs, dir)
+	return nil
 }
 
 func serveQueue(ctx context.Context, q *dispatch.Queue, addr string, progress bool) (*scenario.SweepResult, error) {

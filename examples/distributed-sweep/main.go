@@ -10,22 +10,33 @@
 //     results, in-flight ones re-run — and drains the rest,
 //  5. verifies the merged report and per-cell artifact digests are
 //     byte-identical to a single-process scenario.Sweep of the same
-//     matrix.
+//     matrix,
+//  6. fetches the browsable report bundle over the wire — the workers
+//     uploaded every artifact body into the dispatcher's
+//     content-addressed store (deduplicated by digest, so the static
+//     tables identical across cells landed once) — and
+//  7. materializes the bundle to disk, every body digest-verified on the
+//     way out of the store.
 //
 // The same flow runs across real machines with `cmd/dispatchd` (or
 // `sweep -dispatch`) on one host and `cmd/simworker` on the rest;
-// `sweep -resume DIR` picks up any interrupted journal.
+// `sweep -resume DIR` picks up any interrupted journal and
+// `sweep -resume DIR -bundle OUT` exports the bundle.
 package main
 
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"reflect"
+	"strings"
 	"time"
 
 	"sapsim"
+	"sapsim/internal/artifact"
 	"sapsim/internal/core"
 	"sapsim/internal/dispatch"
 	"sapsim/internal/scenario"
@@ -146,6 +157,62 @@ func main() {
 	}
 	fmt.Printf("merged result of the killed-and-resumed sweep is byte-identical to scenario.Sweep (%d cells, 18 digests each)\n\n", cells)
 
+	// ── 6. Fetch the browsable bundle over the wire. ────────────────────
+	// The workers shipped every artifact body into the store; the drained
+	// dispatcher serves the collected report tree at /bundle.
+	d2 := dispatch.NewDispatcher(resumed)
+	serveCtx, stopServe := context.WithCancel(ctx)
+	defer stopServe()
+	addr2, err := d2.Serve(serveCtx, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	report := get("http://" + addr2 + "/bundle/report")
+	firstLine, _, _ := strings.Cut(report, "\n")
+	fmt.Printf("GET /bundle/report        → %s\n", firstLine)
+	run := merged.Runs[0]
+	body := get(fmt.Sprintf("http://%s/bundle/cell/%s/%s/%d/table1",
+		addr2, run.Key.Scenario, run.Key.Variant, run.Key.Seed))
+	if artifact.Digest([]byte(body)) != run.Digests["table1"] {
+		log.Fatal("fetched artifact does not hash to its journaled digest")
+	}
+	fmt.Printf("GET /bundle/cell/.../table1 → %d bytes, digest-verified\n", len(body))
+
+	// ── 7. Materialize the digest-verified bundle to disk. ──────────────
+	bundleDir, err := os.MkdirTemp("", "sweep-bundle-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(bundleDir)
+	manifest, err := artifact.WriteBundle(bundleDir, merged, resumed.Store())
+	if err != nil {
+		log.Fatal(err)
+	}
+	bodies := 0
+	for _, c := range manifest.Cells {
+		bodies += len(c.Artifacts)
+	}
+	blobs, _ := resumed.Store().Len()
+	fmt.Printf("materialized bundle: %d cells, %d artifact bodies, %d distinct blobs in the CAS "+
+		"(shared artifacts stored once)\n\n", len(manifest.Cells), bodies, blobs)
+
 	fmt.Print(scenario.Comparative(merged))
 	fmt.Print(scenario.ArtifactDiff(merged))
+}
+
+// get fetches one URL or dies.
+func get(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, data)
+	}
+	return string(data)
 }

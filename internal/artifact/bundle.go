@@ -1,0 +1,212 @@
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"sapsim/internal/scenario"
+)
+
+// BundleFormatVersion versions the manifest a bundle carries.
+const BundleFormatVersion = 1
+
+// ManifestCell is one sweep cell's entry in a bundle manifest.
+type ManifestCell struct {
+	Scenario string
+	Variant  string
+	Seed     uint64
+	Err      string `json:",omitempty"`
+	// Artifacts maps artifact ID → SHA-256 digest — the journal's record of
+	// the cell, which every materialized body is verified against.
+	Artifacts map[string]string `json:",omitempty"`
+}
+
+// Manifest indexes a materialized bundle: every cell with its per-artifact
+// digests, exactly as the sweep journal recorded them.
+type Manifest struct {
+	FormatVersion int
+	Cells         []ManifestCell
+}
+
+// Bundle layout, relative to the bundle root:
+//
+//	index.html                                  browsable entry point
+//	report.txt                                  full comparative report
+//	runs.csv                                    per-run metric rows
+//	artifact_diff.txt                           per-cell digest diff vs baseline
+//	manifest.json                               cells + digests (journal's view)
+//	SHA256SUMS                                  one line per body, `sha256sum -c`-able
+//	scenarios/<scenario>/report.txt             baseline-vs-scenario comparative
+//	cells/<scenario>/<variant>/seed-<seed>/<id>.txt   the artifact bodies
+const (
+	bundleIndexName    = "index.html"
+	bundleReportName   = "report.txt"
+	bundleRunsName     = "runs.csv"
+	bundleDiffName     = "artifact_diff.txt"
+	bundleManifestName = "manifest.json"
+	// BundleSumsName is the checksum file a bundle carries:
+	// `sha256sum -c SHA256SUMS` inside the bundle re-verifies every
+	// materialized artifact body against the journal's digests.
+	BundleSumsName = "SHA256SUMS"
+)
+
+// CellDir returns a cell's directory inside a bundle, relative to the root.
+func CellDir(key scenario.Key) string {
+	return filepath.Join("cells", key.Scenario, key.Variant, fmt.Sprintf("seed-%d", key.Seed))
+}
+
+// WriteBundle materializes a finished sweep as a browsable report tree
+// under dir: the comparative reports, one baseline-vs-scenario page per
+// scenario, and every cell's artifact bodies read out of the
+// content-addressed store. Each body is digest-verified on the way out of
+// the store (Get re-hashes), so a bundle that materializes without error
+// is byte-identical to what the workers produced; SHA256SUMS lets anyone
+// re-verify offline. Cells that failed are listed in the manifest and
+// index with their error instead of bodies.
+func WriteBundle(dir string, sr *scenario.SweepResult, store *Store) (*Manifest, error) {
+	if len(sr.Runs) == 0 {
+		return nil, fmt.Errorf("artifact: empty sweep, nothing to bundle")
+	}
+	// Refuse a non-empty target: stale files from an earlier export would
+	// survive alongside a manifest and SHA256SUMS that don't mention
+	// them, and the mixed tree would still pass `sha256sum -c` — exactly
+	// the byte-identity confusion the bundle exists to rule out.
+	if entries, err := os.ReadDir(dir); err == nil && len(entries) > 0 {
+		return nil, fmt.Errorf("artifact: bundle dir %s is not empty; export into a fresh directory", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: bundle dir: %w", err)
+	}
+
+	manifest := &Manifest{FormatVersion: BundleFormatVersion}
+	var sums strings.Builder
+
+	// Cell bodies first: a bundle whose store cannot produce a referenced
+	// body must fail before any summary claims completeness.
+	for _, r := range sr.Runs {
+		cell := ManifestCell{Scenario: r.Key.Scenario, Variant: r.Key.Variant,
+			Seed: r.Key.Seed, Err: r.Err, Artifacts: r.Digests}
+		manifest.Cells = append(manifest.Cells, cell)
+		if r.Err != "" {
+			continue
+		}
+		if len(r.Digests) == 0 {
+			return nil, fmt.Errorf("artifact: cell %s/%s seed %d has no digests (sweep ran without artifact capture)",
+				r.Key.Scenario, r.Key.Variant, r.Key.Seed)
+		}
+		cellDir := filepath.Join(dir, CellDir(r.Key))
+		if err := os.MkdirAll(cellDir, 0o755); err != nil {
+			return nil, fmt.Errorf("artifact: cell dir: %w", err)
+		}
+		for _, id := range sortedIDs(r.Digests) {
+			digest := r.Digests[id]
+			body, err := store.Get(digest)
+			if err != nil {
+				return nil, fmt.Errorf("artifact: cell %s/%s seed %d, artifact %s: %w",
+					r.Key.Scenario, r.Key.Variant, r.Key.Seed, id, err)
+			}
+			rel := filepath.Join(CellDir(r.Key), id+".txt")
+			if err := os.WriteFile(filepath.Join(dir, rel), body, 0o644); err != nil {
+				return nil, fmt.Errorf("artifact: writing %s: %w", rel, err)
+			}
+			// sha256sum's check format: digest, two spaces, path.
+			fmt.Fprintf(&sums, "%s  %s\n", digest, filepath.ToSlash(rel))
+		}
+	}
+
+	// Sweep-level reports.
+	files := map[string]string{
+		bundleReportName: scenario.Comparative(sr),
+		bundleRunsName:   scenario.RunsCSV(sr),
+		bundleDiffName:   scenario.ArtifactDiff(sr),
+		BundleSumsName:   sums.String(),
+	}
+	// One baseline-vs-scenario page per non-baseline scenario; the
+	// baseline's own numbers are every page's first row (and the full
+	// report's), so a baseline-vs-itself page would carry nothing.
+	names := scenario.ScenarioNames(sr)
+	for _, name := range names[1:] {
+		page := scenario.FilterScenarios(sr, names[0], name)
+		files[filepath.Join("scenarios", name, bundleReportName)] = scenario.Comparative(page)
+	}
+	files[bundleIndexName] = bundleIndex(sr, names)
+	mdata, err := json.MarshalIndent(manifest, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("artifact: encoding manifest: %w", err)
+	}
+	files[bundleManifestName] = string(mdata) + "\n"
+
+	for rel, content := range files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return nil, fmt.Errorf("artifact: bundle subdir: %w", err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return nil, fmt.Errorf("artifact: writing %s: %w", rel, err)
+		}
+	}
+	return manifest, nil
+}
+
+func sortedIDs(m map[string]string) []string {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// bundleIndex renders the bundle's entry page: sweep summary, the report
+// links, and a per-cell table linking every artifact body.
+func bundleIndex(sr *scenario.SweepResult, names []string) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>sweep bundle</title>\n")
+	b.WriteString("<style>body{font-family:monospace;margin:2em}table{border-collapse:collapse}" +
+		"td,th{border:1px solid #999;padding:2px 8px;text-align:left}.err{color:#b00}</style>\n")
+	b.WriteString("</head><body>\n<h1>sweep report bundle</h1>\n")
+	failed := 0
+	for _, r := range sr.Runs {
+		if r.Err != "" {
+			failed++
+		}
+	}
+	fmt.Fprintf(&b, "<p>%d cells (%d failed), %d scenarios. Every body below is digest-verified; "+
+		"re-check offline with <code>sha256sum -c %s</code>.</p>\n",
+		len(sr.Runs), failed, len(names), BundleSumsName)
+	b.WriteString("<ul>\n")
+	fmt.Fprintf(&b, "<li><a href=%q>comparative report</a></li>\n", bundleReportName)
+	fmt.Fprintf(&b, "<li><a href=%q>runs.csv</a></li>\n", bundleRunsName)
+	fmt.Fprintf(&b, "<li><a href=%q>artifact diff vs baseline</a></li>\n", bundleDiffName)
+	fmt.Fprintf(&b, "<li><a href=%q>manifest.json</a></li>\n", bundleManifestName)
+	b.WriteString("</ul>\n<h2>per-scenario comparatives</h2>\n<ul>\n")
+	for _, name := range names[1:] {
+		fmt.Fprintf(&b, "<li><a href=\"scenarios/%s/%s\">%s vs %s</a></li>\n",
+			html.EscapeString(name), bundleReportName,
+			html.EscapeString(name), html.EscapeString(names[0]))
+	}
+	b.WriteString("</ul>\n<h2>cells</h2>\n<table>\n<tr><th>scenario</th><th>variant</th><th>seed</th><th>artifacts</th></tr>\n")
+	for _, r := range sr.Runs {
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%d</td><td>",
+			html.EscapeString(r.Key.Scenario), html.EscapeString(r.Key.Variant), r.Key.Seed)
+		if r.Err != "" {
+			fmt.Fprintf(&b, "<span class=\"err\">%s</span>", html.EscapeString(r.Err))
+		} else {
+			for i, id := range sortedIDs(r.Digests) {
+				if i > 0 {
+					b.WriteString(" ")
+				}
+				fmt.Fprintf(&b, "<a href=\"%s/%s.txt\">%s</a>",
+					filepath.ToSlash(CellDir(r.Key)), html.EscapeString(id), html.EscapeString(id))
+			}
+		}
+		b.WriteString("</td></tr>\n")
+	}
+	b.WriteString("</table>\n</body></html>\n")
+	return b.String()
+}

@@ -1,0 +1,169 @@
+package artifact
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sapsim/internal/scenario"
+)
+
+// fabricateSweep builds a 3-cell sweep (baseline + two scenarios) whose
+// cells share one static artifact body — the dedup case — plus one
+// per-cell body each, with everything stored.
+func fabricateSweep(t *testing.T, s *Store) *scenario.SweepResult {
+	t.Helper()
+	static := []byte("table5: identical in every cell\n")
+	staticD := Digest(static)
+	if _, err := s.Put(staticD, static); err != nil {
+		t.Fatal(err)
+	}
+	sr := &scenario.SweepResult{}
+	for _, name := range []string{"baseline", "host-failures", "az-outage"} {
+		body := []byte("fig9 series for " + name + "\n")
+		d := Digest(body)
+		if _, err := s.Put(d, body); err != nil {
+			t.Fatal(err)
+		}
+		sr.Runs = append(sr.Runs, scenario.Run{
+			Key:     scenario.Key{Scenario: name, Variant: "default", Seed: 7},
+			Digests: map[string]string{"table5": staticD, "fig9": d},
+		})
+	}
+	return sr
+}
+
+func TestWriteBundle(t *testing.T) {
+	s := openStore(t)
+	sr := fabricateSweep(t, s)
+	dir := t.TempDir()
+
+	manifest, err := WriteBundle(dir, sr, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(manifest.Cells) != 3 {
+		t.Fatalf("manifest has %d cells, want 3", len(manifest.Cells))
+	}
+
+	// The tree: index, reports, per-scenario pages, bodies.
+	for _, rel := range []string{
+		"index.html", "report.txt", "runs.csv", "artifact_diff.txt",
+		"manifest.json", BundleSumsName,
+		"scenarios/host-failures/report.txt",
+		"scenarios/az-outage/report.txt",
+		"cells/baseline/default/seed-7/table5.txt",
+		"cells/host-failures/default/seed-7/fig9.txt",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, rel)); err != nil {
+			t.Errorf("bundle missing %s: %v", rel, err)
+		}
+	}
+	// The baseline gets no baseline-vs-itself page.
+	if _, err := os.Stat(filepath.Join(dir, "scenarios/baseline")); !os.IsNotExist(err) {
+		t.Error("bundle materialized a baseline-vs-itself scenario page")
+	}
+
+	// Bodies are byte-identical to what the store holds, and SHA256SUMS
+	// re-verifies every one against the manifest's (journal's) digests.
+	sums, err := os.ReadFile(filepath.Join(dir, BundleSumsName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(sums)), "\n")
+	if len(lines) != 6 { // 3 cells x 2 artifacts
+		t.Fatalf("SHA256SUMS has %d lines, want 6:\n%s", len(lines), sums)
+	}
+	for _, line := range lines {
+		digest, rel, ok := strings.Cut(line, "  ")
+		if !ok {
+			t.Fatalf("malformed sums line %q", line)
+		}
+		body, err := os.ReadFile(filepath.Join(dir, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Digest(body) != digest {
+			t.Fatalf("%s: recomputed digest differs from SHA256SUMS", rel)
+		}
+	}
+
+	// The manifest round-trips and pins the same digests.
+	var decoded Manifest
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.FormatVersion != BundleFormatVersion {
+		t.Fatalf("manifest format %d, want %d", decoded.FormatVersion, BundleFormatVersion)
+	}
+	for i, cell := range decoded.Cells {
+		if cell.Artifacts["table5"] != sr.Runs[i].Digests["table5"] {
+			t.Fatalf("cell %d manifest digest drifted", i)
+		}
+	}
+
+	// The shared static body is stored once but materialized per cell.
+	if n, _ := s.Len(); n != 4 { // 1 shared + 3 per-cell
+		t.Fatalf("store holds %d blobs, want 4 (static table deduplicated)", n)
+	}
+}
+
+// TestWriteBundleRefusesNonEmptyDir: re-exporting over an earlier bundle
+// would leave stale bodies a fresh manifest doesn't mention.
+func TestWriteBundleRefusesNonEmptyDir(t *testing.T) {
+	s := openStore(t)
+	sr := fabricateSweep(t, s)
+	dir := t.TempDir()
+	if _, err := WriteBundle(dir, sr, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteBundle(dir, sr, s); err == nil {
+		t.Fatal("WriteBundle exported over an existing bundle")
+	}
+}
+
+// TestWriteBundleRefusesDamagedStore: a bundle must never materialize a
+// body that fails digest verification.
+func TestWriteBundleRefusesDamagedStore(t *testing.T) {
+	s := openStore(t)
+	sr := fabricateSweep(t, s)
+	// Flip a bit in one referenced blob.
+	victim := sr.Runs[1].Digests["fig9"]
+	body, err := os.ReadFile(s.blobPath(victim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body[0] ^= 0x80
+	if err := os.WriteFile(s.blobPath(victim), body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteBundle(t.TempDir(), sr, s); err == nil {
+		t.Fatal("WriteBundle materialized a corrupt body")
+	}
+}
+
+// TestWriteBundleFailedCell: failed cells appear in the manifest with
+// their error and no bodies.
+func TestWriteBundleFailedCell(t *testing.T) {
+	s := openStore(t)
+	sr := fabricateSweep(t, s)
+	sr.Runs[2].Err = "injector: region has no availability zones"
+	sr.Runs[2].Digests = nil
+	dir := t.TempDir()
+	manifest, err := WriteBundle(dir, sr, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if manifest.Cells[2].Err == "" || len(manifest.Cells[2].Artifacts) != 0 {
+		t.Fatalf("failed cell recorded as %+v", manifest.Cells[2])
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cells/az-outage")); !os.IsNotExist(err) {
+		t.Fatal("failed cell materialized a body directory")
+	}
+}

@@ -1,0 +1,184 @@
+package artifact
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+)
+
+func openStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openStore(t)
+	body := []byte("table5 rendered text\n")
+	digest := Digest(body)
+
+	stored, err := s.Put(digest, body)
+	if err != nil || !stored {
+		t.Fatalf("Put = %v, %v; want stored", stored, err)
+	}
+	if !s.Has(digest) {
+		t.Fatal("Has = false after Put")
+	}
+	got, err := s.Get(digest)
+	if err != nil || string(got) != string(body) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if err := s.Verify(digest, int64(len(body))); err != nil {
+		t.Fatalf("Verify = %v", err)
+	}
+}
+
+func TestPutRejectsMismatchedBody(t *testing.T) {
+	s := openStore(t)
+	digest := Digest([]byte("the real body"))
+	if _, err := s.Put(digest, []byte("an impostor body")); err == nil {
+		t.Fatal("Put accepted a body that does not hash to its digest")
+	}
+	if s.Has(digest) {
+		t.Fatal("rejected Put left a blob behind")
+	}
+	if _, err := s.Put("not-a-digest", []byte("x")); err == nil {
+		t.Fatal("Put accepted a malformed digest")
+	}
+}
+
+// TestPutDeduplicates: the write-once property behind cross-cell sharing —
+// a second Put of the same digest writes nothing.
+func TestPutDeduplicates(t *testing.T) {
+	s := openStore(t)
+	body := []byte("identical static table")
+	digest := Digest(body)
+	if stored, err := s.Put(digest, body); err != nil || !stored {
+		t.Fatalf("first Put = %v, %v", stored, err)
+	}
+	if stored, err := s.Put(digest, body); err != nil || stored {
+		t.Fatalf("second Put = %v, %v; want deduplicated no-op", stored, err)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want exactly 1 blob", n, err)
+	}
+}
+
+// TestFailureModesAreDistinct: the three ways a blob goes bad — missing,
+// truncated, bit-flipped — are each detected on read and surfaced as
+// distinct sentinel errors.
+func TestFailureModesAreDistinct(t *testing.T) {
+	s := openStore(t)
+	body := []byte("a fragile artifact body, long enough to damage meaningfully")
+	digest := Digest(body)
+	if _, err := s.Put(digest, body); err != nil {
+		t.Fatal(err)
+	}
+	size := int64(len(body))
+	path := s.blobPath(digest)
+
+	// Missing: no blob at all.
+	other := Digest([]byte("never stored"))
+	if err := s.Verify(other, -1); !errors.Is(err, ErrMissing) {
+		t.Fatalf("Verify(absent) = %v, want ErrMissing", err)
+	}
+	if _, err := s.Get(other); !errors.Is(err, ErrMissing) {
+		t.Fatalf("Get(absent) = %v, want ErrMissing", err)
+	}
+
+	// Truncated: size drifted from the recorded upload.
+	if err := os.Truncate(path, size/2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(digest, size); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Verify(truncated) = %v, want ErrTruncated", err)
+	}
+	// Without a recorded size the hash check still refuses it.
+	if err := s.Verify(digest, -1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Verify(truncated, no size) = %v, want ErrCorrupt", err)
+	}
+	if _, err := s.Get(digest); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get(truncated) = %v, want ErrCorrupt (hash mismatch)", err)
+	}
+
+	// Corrupt: right size, flipped bit.
+	restored := append([]byte{}, body...)
+	restored[4] ^= 0x01
+	if err := os.WriteFile(path, restored, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(digest, size); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Verify(bit-flipped) = %v, want ErrCorrupt", err)
+	}
+	if _, err := s.Get(digest); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get(bit-flipped) = %v, want ErrCorrupt", err)
+	}
+
+	// Remove heals: a fresh Put of the true body is not deduplicated
+	// against the damaged file.
+	if err := s.Remove(digest); err != nil {
+		t.Fatal(err)
+	}
+	if stored, err := s.Put(digest, body); err != nil || !stored {
+		t.Fatalf("re-Put after Remove = %v, %v; want stored", stored, err)
+	}
+	if _, err := s.Get(digest); err != nil {
+		t.Fatalf("Get after heal = %v", err)
+	}
+}
+
+// TestGCRemovesUnreferencedBlobs: reference-counted collection — blobs
+// with a positive count survive, orphans go.
+func TestGCRemovesUnreferencedBlobs(t *testing.T) {
+	s := openStore(t)
+	kept := []byte("referenced by two done cells")
+	orphan := []byte("uploaded for a cell that never completed")
+	keptD, orphanD := Digest(kept), Digest(orphan)
+	for _, b := range [][]byte{kept, orphan} {
+		if _, err := s.Put(Digest(b), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := s.GC(map[string]int{keptD: 2})
+	if err != nil || removed != 1 {
+		t.Fatalf("GC removed %d, %v; want 1", removed, err)
+	}
+	if !s.Has(keptD) || s.Has(orphanD) {
+		t.Fatalf("GC kept wrong blobs: kept=%v orphan=%v", s.Has(keptD), s.Has(orphanD))
+	}
+}
+
+func TestDigestsListsBlobs(t *testing.T) {
+	s := openStore(t)
+	want := map[string]bool{}
+	for _, body := range []string{"one", "two", "three"} {
+		d := Digest([]byte(body))
+		want[d] = true
+		if _, err := s.Put(d, []byte(body)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := s.Digests()
+	if err != nil || len(ds) != len(want) {
+		t.Fatalf("Digests = %v, %v", ds, err)
+	}
+	for _, d := range ds {
+		if !want[d] {
+			t.Fatalf("unexpected digest %s", d)
+		}
+	}
+	// Temp-file leftovers and stray names never surface as digests.
+	if err := os.WriteFile(s.dir+"/stray.tmp", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, _ = s.Digests()
+	for _, d := range ds {
+		if strings.Contains(d, "stray") {
+			t.Fatal("stray file listed as a blob")
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package dispatch
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sapsim/internal/artifact"
+)
+
+// completeCell books the next cell for worker and completes it with the
+// given artifact bodies, uploading each into the queue's store first —
+// the contract the wire path (PUT /artifact then POST /complete) follows.
+func completeCell(t *testing.T, q *Queue, worker string, bodies map[string]string) *Job {
+	t.Helper()
+	j, _, err := q.Book(worker, 1)
+	if err != nil || j == nil {
+		t.Fatalf("Book = %+v, %v", j, err)
+	}
+	digests := make(map[string]string, len(bodies))
+	for id, body := range bodies {
+		d := artifact.Digest([]byte(body))
+		if _, err := q.PutArtifact(d, []byte(body)); err != nil {
+			t.Fatal(err)
+		}
+		digests[id] = d
+	}
+	if err := q.Complete(j.ID, worker, j.Attempt, RunResult{Digests: digests}); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// TestResumeDetectsDamagedBlobs is the CAS failure-mode acceptance: a
+// truncated blob, a bit-flipped blob, and a missing blob are each
+// detected by the resume audit, reported distinctly, and re-queue exactly
+// the cells whose artifacts they carried; untouched cells stay done, and
+// the shared blob still referenced by a surviving cell outlives the GC.
+func TestResumeDetectsDamagedBlobs(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	dir := t.TempDir()
+	q, err := NewQueue(dir, testSpec(), QueueOptions{Lease: time.Minute, now: clock.now}) // 4 cells
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Four done cells. Every cell shares the "static" body (stored once);
+	// each also has a private body the test damages selectively.
+	shared := "table5: identical across cells"
+	sharedDigest := artifact.Digest([]byte(shared))
+	private := make([]string, 4)
+	for i := 0; i < 4; i++ {
+		private[i] = fmt.Sprintf("fig9 series of cell %d", i)
+		completeCell(t, q, "w1", map[string]string{"table5": shared, "fig9": private[i]})
+	}
+	// One orphan: uploaded for a cell that never completed.
+	orphan := artifact.Digest([]byte("upload from a crashed cell"))
+	if _, err := q.PutArtifact(orphan, []byte("upload from a crashed cell")); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := q.Store().Len(); n != 6 { // 1 shared + 4 private + 1 orphan
+		t.Fatalf("store holds %d blobs, want 6 (shared body deduplicated)", n)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Damage three of the four private blobs, one per failure mode.
+	casDir := filepath.Join(dir, artifact.DirName)
+	blobPath := func(digest string) string { return filepath.Join(casDir, digest[:2], digest) }
+	truncated := artifact.Digest([]byte(private[1]))
+	if err := os.Truncate(blobPath(truncated), 4); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := artifact.Digest([]byte(private[2]))
+	flipped := []byte(private[2])
+	flipped[0] ^= 0x01
+	if err := os.WriteFile(blobPath(corrupt), flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	missing := artifact.Digest([]byte(private[3]))
+	if err := os.Remove(blobPath(missing)); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Resume(dir, QueueOptions{Lease: time.Minute, now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	snap := r.Snapshot()
+	wantStates := []string{"done", "queued", "queued", "queued"}
+	for i, want := range wantStates {
+		if snap[i].State != want {
+			t.Errorf("cell %d resumed as %s, want %s", i, snap[i].State, want)
+		}
+		if want == "queued" && snap[i].Attempt != 0 {
+			// Disk rot must not eat into the cell's attempt budget.
+			t.Errorf("cell %d requeued with attempt %d, want a fresh budget", i, snap[i].Attempt)
+		}
+	}
+	for _, want := range []string{"1 truncated blobs", "1 corrupt blobs", "1 missing blobs",
+		"3 cells requeued for artifact re-upload"} {
+		if !strings.Contains(r.Recovered(), want) {
+			t.Errorf("Recovered() = %q, want it to mention %q", r.Recovered(), want)
+		}
+	}
+
+	// The shared blob survives (cell 0 still references it); the orphan
+	// and every damaged blob are gone, so re-uploads cannot dedup against
+	// damage.
+	if !r.Store().Has(sharedDigest) {
+		t.Error("shared blob collected despite a live reference")
+	}
+	for name, digest := range map[string]string{
+		"orphan": orphan, "truncated": truncated, "corrupt": corrupt,
+	} {
+		if r.Store().Has(digest) {
+			t.Errorf("%s blob still in the store after resume", name)
+		}
+	}
+
+	// The re-queued cells re-complete (same deterministic bodies) and the
+	// sweep drains to a merged result whose digests match the originals.
+	for i := 1; i <= 3; i++ {
+		completeCell(t, r, "w2", map[string]string{"table5": shared, "fig9": private[i]})
+	}
+	merged, err := r.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, run := range merged.Runs {
+		if run.Digests["fig9"] != artifact.Digest([]byte(private[i])) {
+			t.Errorf("cell %d re-ran to a different fig9 digest", i)
+		}
+	}
+
+	// A second resume replays the requeue records cleanly: everything is
+	// done again and nothing is re-queued.
+	r.Close()
+	r2, err := Resume(dir, QueueOptions{Lease: time.Minute, now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	for i, st := range r2.Snapshot() {
+		if st.State != "done" {
+			t.Errorf("cell %d after second resume = %s, want done", i, st.State)
+		}
+	}
+}
+
+// TestBundleFromQueueStore: a drained queue materializes a bundle whose
+// every body re-hashes to the journal's digest, with shared blobs stored
+// once.
+func TestBundleFromQueueStore(t *testing.T) {
+	q, _ := newTestQueue(t, QueueOptions{Lease: time.Minute})
+	shared := "table3: static dataset comparison"
+	for i := 0; i < 4; i++ {
+		completeCell(t, q, "w1", map[string]string{
+			"table3": shared,
+			"fig5":   fmt.Sprintf("heatmap %d", i),
+		})
+	}
+	merged, err := q.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := q.Store().Len(); n != 5 {
+		t.Fatalf("store holds %d blobs, want 5 (dedup)", n)
+	}
+	dir := t.TempDir()
+	if _, err := artifact.WriteBundle(dir, merged, q.Store()); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check one cell directory against the merged digests.
+	key := merged.Runs[0].Key
+	body, err := os.ReadFile(filepath.Join(dir, artifact.CellDir(key), "table3.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if artifact.Digest(body) != merged.Runs[0].Digests["table3"] {
+		t.Fatal("bundled body does not re-hash to the journal digest")
+	}
+}
+
+// TestCellRun exposes recorded results (the /bundle cell pages' source)
+// and nothing for in-flight cells.
+func TestCellRun(t *testing.T) {
+	q, _ := newTestQueue(t, QueueOptions{Lease: time.Minute})
+	j := completeCell(t, q, "w1", map[string]string{"fig5": "body"})
+	run, ok := q.CellRun(j.ID)
+	if !ok || run.Key != j.Key || run.Digests["fig5"] == "" {
+		t.Fatalf("CellRun = %+v, %v", run, ok)
+	}
+	if _, ok := q.CellRun(j.ID + 1); ok {
+		t.Fatal("CellRun returned a result for a queued cell")
+	}
+	if _, ok := q.CellRun(99); ok {
+		t.Fatal("CellRun returned a result for an unknown cell")
+	}
+}

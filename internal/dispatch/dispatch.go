@@ -19,13 +19,28 @@
 // Queue states: queued → booked → running → done | failed, with
 // lease-expiry edges booked/running → queued.
 //
-// Wire protocol (JSON over HTTP):
+// Completed cells deliver more than digests: workers upload every artifact
+// body into the dispatcher's content-addressed store (internal/artifact,
+// under the journal directory), deduplicated by digest — a HEAD probe lets
+// a worker skip blobs the store already holds, which covers the static
+// tables identical across cells. The dispatcher serves the collected
+// bodies as a browsable /bundle report tree, and Resume re-verifies the
+// store against the journal, re-queueing any cell whose blobs went
+// missing, truncated, or corrupt.
 //
-//	POST /book     {worker}                → 200 job+base config | 204 none free | 410 drained
-//	POST /progress {worker, job, checkpoint} → 200 (lease renewed) | 409 lease lost
-//	POST /complete {worker, job, run}        → 200 | 409 lease lost
+// Wire protocol (JSON over HTTP; artifact bodies travel raw):
+//
+//	POST /book     {worker, capacity}        → 200 job+base config | 204 none free | 410 drained
+//	POST /progress {worker, job, attempt, checkpoint} → 200 (lease renewed) | 409 lease lost
+//	POST /complete {worker, job, attempt, run}        → 200 | 409 lease lost | 412 blobs missing
+//	POST /release  {worker, job, attempt}             → 200 (cell re-queued) | 409 lease lost
+//	HEAD /artifact/{digest} → 200 held | 404
+//	PUT  /artifact/{digest} → 201 stored | 200 deduplicated | 400 hash mismatch
+//	GET  /artifact/{digest} → 200 body (digest-verified) | 404
 //	GET  /state    → queue snapshot
 //	GET  /result   → merged SweepResult (425 until drained)
+//	GET  /bundle   → browsable report index (cells serve as they finish;
+//	                 sweep-wide pages 425 until drained)
 package dispatch
 
 import (
@@ -41,7 +56,9 @@ import (
 // FormatVersion versions every on-disk artifact of this package: the
 // journal header and each serialized checkpoint carry it, and readers
 // reject records from a different format rather than misparse them.
-const FormatVersion = 1
+// Version 2 added the content-addressed artifact store alongside the
+// journal (blob records in the WAL, store verification on resume).
+const FormatVersion = 2
 
 // ConfigSpec is the serializable subset of core.Config — the knobs the
 // sweep CLIs vary. Config reconstructs a full core.Config from it on the

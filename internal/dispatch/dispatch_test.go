@@ -4,14 +4,19 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"sapsim"
+	"sapsim/internal/artifact"
 	"sapsim/internal/core"
 	"sapsim/internal/scenario"
 )
@@ -189,6 +194,50 @@ func TestDispatchedSweepByteIdentity(t *testing.T) {
 	}
 
 	assertIdentical(t, merged, ref, "kill+crash+resume")
+
+	// Dedup guarantee: shared artifacts are stored exactly once — the
+	// store holds one blob per distinct digest across the sweep, strictly
+	// fewer than cells x artifacts (the static tables are identical in
+	// every cell).
+	distinct := map[string]bool{}
+	total := 0
+	for _, run := range merged.Runs {
+		for _, d := range run.Digests {
+			distinct[d] = true
+			total++
+		}
+	}
+	if blobs, err := q2.Store().Len(); err != nil || blobs != len(distinct) {
+		t.Fatalf("store holds %d blobs, want %d (one per distinct digest), err=%v",
+			blobs, len(distinct), err)
+	}
+	if len(distinct) >= total {
+		t.Fatalf("no cross-cell sharing: %d distinct digests of %d artifact slots", len(distinct), total)
+	}
+
+	// Bundle guarantee: the materialized bundle's artifact bodies are
+	// byte-identical (digest-verified) to the single-process reference —
+	// every body re-hashes to the digest the reference sweep computed.
+	bundleDir := t.TempDir()
+	manifest, err := artifact.WriteBundle(bundleDir, merged, q2.Store())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(manifest.Cells) != len(ref.Runs) {
+		t.Fatalf("bundle has %d cells, reference has %d", len(manifest.Cells), len(ref.Runs))
+	}
+	for i, refRun := range ref.Runs {
+		for id, wantDigest := range refRun.Digests {
+			body, err := os.ReadFile(filepath.Join(bundleDir, artifact.CellDir(refRun.Key), id+".txt"))
+			if err != nil {
+				t.Fatalf("cell %d artifact %s not in bundle: %v", i, id, err)
+			}
+			if got := artifact.Digest(body); got != wantDigest {
+				t.Fatalf("cell %d artifact %s: bundled body hashes to %s, reference says %s",
+					i, id, got, wantDigest)
+			}
+		}
+	}
 }
 
 // TestDispatchTwoWorkersClean: the plain path — two workers, no failures —
@@ -253,6 +302,43 @@ func TestDispatchTwoWorkersClean(t *testing.T) {
 	if !reflect.DeepEqual(res.Runs, ref.Runs) {
 		t.Fatal("/result differs from the reference sweep")
 	}
+
+	// The browsable bundle serves over the wire: the report page matches
+	// the comparative of the reference, a cell's artifact body fetched
+	// through the bundle tree re-hashes to the reference digest, and the
+	// raw CAS endpoint serves the same bytes.
+	if got := getText(t, srv.URL+"/bundle/report"); got != scenario.Comparative(ref) {
+		t.Fatal("/bundle/report differs from the reference comparative")
+	}
+	if idx := getText(t, srv.URL+"/bundle"); !strings.Contains(idx, "baseline/default/7") {
+		t.Fatalf("/bundle index does not list the cells:\n%s", idx)
+	}
+	refRun := ref.Runs[0]
+	body := getText(t, fmt.Sprintf("%s/bundle/cell/%s/%s/%d/fig9",
+		srv.URL, refRun.Key.Scenario, refRun.Key.Variant, refRun.Key.Seed))
+	if artifact.Digest([]byte(body)) != refRun.Digests["fig9"] {
+		t.Fatal("artifact served through /bundle does not hash to the reference digest")
+	}
+	if raw := getText(t, srv.URL+"/artifact/"+refRun.Digests["fig9"]); raw != body {
+		t.Fatal("/artifact and /bundle serve different bytes for one digest")
+	}
+}
+
+func getText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, data)
+	}
+	return string(data)
 }
 
 func getJSON(url string, out any) error {

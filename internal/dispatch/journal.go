@@ -38,6 +38,13 @@ type journalRecord struct {
 
 	Checkpoint *CheckpointRecord `json:"ckpt,omitempty"`
 	Run        *RunResult        `json:"run,omitempty"`
+
+	// artifact: a blob landed in the content-addressed store. Digest is the
+	// blob's SHA-256; Size its byte length — the record Resume uses to
+	// distinguish a truncated blob (size drifted) from a corrupt one
+	// (size intact, content re-hashes differently).
+	Digest string `json:"digest,omitempty"`
+	Size   int64  `json:"size,omitempty"`
 }
 
 const (
@@ -45,6 +52,7 @@ const (
 	recState      = "state"
 	recCheckpoint = "checkpoint"
 	recResult     = "result"
+	recArtifact   = "artifact"
 )
 
 // journalWriter appends records to the WAL. Callers serialize access (the

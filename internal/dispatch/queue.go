@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"sapsim/internal/artifact"
 	"sapsim/internal/scenario"
 )
 
@@ -31,6 +32,12 @@ type Job struct {
 // longer holds the job's lease (it expired and the job was re-booked, or
 // was completed by another worker). The worker should abandon the cell.
 var ErrStale = errors.New("dispatch: lease lost")
+
+// ErrMissingBlobs is returned by Complete when a successful cell's digests
+// reference artifact bodies the store does not hold — the worker must
+// upload every body before completing, or the sweep could drain without
+// the artifacts its bundle promises.
+var ErrMissingBlobs = errors.New("dispatch: artifact blobs missing from store")
 
 // DefaultLease is how long a booked or running job may go without a
 // heartbeat before it is re-queued.
@@ -74,6 +81,9 @@ type Queue struct {
 	journal *journalWriter
 	opts    QueueOptions
 	dir     string
+	// store holds the artifact bodies behind every done cell's digests,
+	// content-addressed under dir/cas.
+	store *artifact.Store
 
 	// recovered describes what Resume found (torn tail, skipped lines).
 	recovered string
@@ -92,7 +102,12 @@ func NewQueue(dir string, spec Spec, opts QueueOptions) (*Queue, error) {
 	if err != nil {
 		return nil, err
 	}
-	q := &Queue{spec: spec, journal: w, opts: opts, dir: dir}
+	store, err := artifact.Open(filepath.Join(dir, artifact.DirName))
+	if err != nil {
+		w.close()
+		return nil, err
+	}
+	q := &Queue{spec: spec, journal: w, opts: opts, dir: dir, store: store}
 	for i, key := range spec.Keys() {
 		q.jobs = append(q.jobs, &Job{ID: i, Key: key})
 	}
@@ -109,6 +124,12 @@ func NewQueue(dir string, spec Spec, opts QueueOptions) (*Queue, error) {
 // a restarted dispatcher, and every cell is deterministically re-runnable
 // from scratch. A torn final line or corrupt interior lines are dropped;
 // each costs at most one cell re-run.
+//
+// Resume also audits the artifact store against the journal: every done
+// cell's blobs are re-verified (missing, truncated, and corrupt blobs are
+// distinguished and reported), cells whose artifacts cannot be produced
+// intact are re-queued, and blobs no finished cell references — uploads
+// for cells that never durably completed — are garbage-collected.
 func Resume(dir string, opts QueueOptions) (*Queue, error) {
 	opts.fill()
 	path := filepath.Join(dir, JournalName)
@@ -120,14 +141,27 @@ func Resume(dir string, opts QueueOptions) (*Queue, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	q := &Queue{spec: spec, opts: opts, dir: dir}
+	store, err := artifact.Open(filepath.Join(dir, artifact.DirName))
+	if err != nil {
+		return nil, err
+	}
+	q := &Queue{spec: spec, opts: opts, dir: dir, store: store}
 	for i, key := range spec.Keys() {
 		q.jobs = append(q.jobs, &Job{ID: i, Key: key})
 	}
 	if len(q.jobs) == 0 {
 		return nil, scenario.ErrEmptyMatrix
 	}
+	// blobSizes is each stored blob's journaled byte length — what lets
+	// verification tell a truncated blob from a corrupt one.
+	blobSizes := make(map[string]int64)
 	for _, rec := range replay.records {
+		if rec.T == recArtifact {
+			if rec.Digest != "" {
+				blobSizes[rec.Digest] = rec.Size
+			}
+			continue
+		}
 		if rec.Job < 0 || rec.Job >= len(q.jobs) {
 			replay.skipped++
 			continue
@@ -143,6 +177,11 @@ func Resume(dir string, opts QueueOptions) (*Queue, error) {
 			j.State = st
 			j.Worker = rec.Worker
 			j.Attempt = rec.Attempt
+			if st == JobQueued {
+				// A re-queue after a recorded result (the artifact audit
+				// path) invalidates that result.
+				j.Run = nil
+			}
 		case recCheckpoint:
 			if rec.Checkpoint == nil || rec.Checkpoint.Validate() != nil {
 				replay.skipped++
@@ -172,6 +211,78 @@ func Resume(dir string, opts QueueOptions) (*Queue, error) {
 			requeued++
 		}
 	}
+	// Audit the store: a done cell is only done if every artifact body it
+	// recorded can still be produced intact. Each distinct blob is read
+	// and re-hashed exactly once however many cells share it (the static
+	// tables are referenced by every cell of the sweep). Bad blobs are
+	// removed (so a re-upload is not deduplicated against the damaged
+	// file) and the affected cells re-run from scratch — determinism
+	// re-produces identical bodies.
+	badBlobs := map[string]int{}
+	verified := map[string]error{}
+	verify := func(digest string) error {
+		verr, seen := verified[digest]
+		if seen {
+			return verr
+		}
+		size, ok := blobSizes[digest]
+		if !ok {
+			size = -1 // no upload record survived; hash check still runs
+		}
+		verr = store.Verify(digest, size)
+		verified[digest] = verr
+		switch {
+		case verr == nil:
+		case errors.Is(verr, artifact.ErrMissing):
+			badBlobs["missing"]++
+		case errors.Is(verr, artifact.ErrTruncated):
+			badBlobs["truncated"]++
+			_ = store.Remove(digest)
+		case errors.Is(verr, artifact.ErrCorrupt):
+			badBlobs["corrupt"]++
+			_ = store.Remove(digest)
+		default:
+			badBlobs["unreadable"]++
+			_ = store.Remove(digest)
+		}
+		return verr
+	}
+	auditRequeued := map[int]bool{}
+	for _, j := range q.jobs {
+		if j.State != JobDone || j.Run == nil {
+			continue
+		}
+		bad := false
+		for _, digest := range j.Run.Digests {
+			if verify(digest) != nil {
+				bad = true
+			}
+		}
+		if bad {
+			j.State = JobQueued
+			j.Worker = ""
+			j.Run = nil
+			// Disk rot is not the cell's fault: the re-run starts with a
+			// fresh attempt budget, so a cell that once completed is never
+			// pushed over MaxAttempts by blob damage.
+			j.Attempt = 0
+			auditRequeued[j.ID] = true
+		}
+	}
+	// Garbage-collect orphans: blobs no remaining done cell references.
+	refs := map[string]int{}
+	for _, j := range q.jobs {
+		if j.State != JobDone || j.Run == nil {
+			continue
+		}
+		for _, digest := range j.Run.Digests {
+			refs[digest]++
+		}
+	}
+	orphans, err := store.GC(refs)
+	if err != nil {
+		return nil, err
+	}
 	w, err := openJournalForAppend(path)
 	if err != nil {
 		return nil, err
@@ -181,7 +292,7 @@ func Resume(dir string, opts QueueOptions) (*Queue, error) {
 	// without re-deriving it.
 	q.mu.Lock()
 	for _, j := range q.jobs {
-		if j.State == JobQueued && j.Attempt > 0 {
+		if (j.State == JobQueued && j.Attempt > 0) || auditRequeued[j.ID] {
 			if err := q.appendStateLocked(j); err != nil {
 				q.mu.Unlock()
 				w.close()
@@ -196,6 +307,17 @@ func Resume(dir string, opts QueueOptions) (*Queue, error) {
 	}
 	if replay.skipped > 0 {
 		q.recovered += fmt.Sprintf(", %d corrupt lines skipped", replay.skipped)
+	}
+	for _, kind := range []string{"missing", "truncated", "corrupt", "unreadable"} {
+		if n := badBlobs[kind]; n > 0 {
+			q.recovered += fmt.Sprintf(", %d %s blobs", n, kind)
+		}
+	}
+	if len(auditRequeued) > 0 {
+		q.recovered += fmt.Sprintf(", %d cells requeued for artifact re-upload", len(auditRequeued))
+	}
+	if orphans > 0 {
+		q.recovered += fmt.Sprintf(", %d orphan blobs collected", orphans)
 	}
 	return q, nil
 }
@@ -269,24 +391,43 @@ func (q *Queue) appendResultLocked(j *Job) error {
 	return q.journal.appendDurable(journalRecord{T: recResult, Job: j.ID, Worker: j.Worker, Run: j.Run})
 }
 
-// Book leases the next queued job to the worker. The second return is
+// Book leases the next queued job to the worker. Capacity is the worker's
+// advertised concurrent-cell capacity (simworker -jobs; <=0 means 1): the
+// queue books each worker up to its capacity in concurrent leases, so a
+// 4-job worker holds four cells at once and drains the matrix
+// proportionally faster than a 1-job neighbor. A worker already holding
+// its capacity gets nothing until a lease frees. The second return is
 // true when the sweep is drained (every job done or failed); when false
-// with a nil job, everything unfinished is currently leased to other
-// workers and the caller should poll again.
-func (q *Queue) Book(worker string) (*Job, bool, error) {
+// with a nil job, everything unfinished is currently leased and the
+// caller should poll again.
+func (q *Queue) Book(worker string, capacity int) (*Job, bool, error) {
 	if worker == "" {
 		return nil, false, errors.New("dispatch: empty worker id")
+	}
+	if capacity <= 0 {
+		capacity = 1
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	now := q.opts.now()
 	q.reapLocked(now)
+	holds := 0
+	for _, j := range q.jobs {
+		if (j.State == JobBooked || j.State == JobRunning) && j.Worker == worker {
+			holds++
+		}
+	}
 	drained := true
 	for _, j := range q.jobs {
 		switch j.State {
 		case JobDone, JobFailed:
 			continue
 		case JobQueued:
+			if holds >= capacity {
+				// Everything unfinished that this worker could take would
+				// push it past its advertised capacity.
+				return nil, false, nil
+			}
 			j.State = JobBooked
 			j.Worker = worker
 			j.Attempt++
@@ -307,14 +448,16 @@ func (q *Queue) Book(worker string) (*Job, bool, error) {
 }
 
 // Progress records a worker heartbeat for a booked/running job: the lease
-// renews and the checkpoint (if any) is journaled. Returns Stale when the
-// worker no longer holds the job.
-func (q *Queue) Progress(jobID int, worker string, ckpt *CheckpointRecord) error {
+// renews and the checkpoint (if any) is journaled. Attempt is the booking
+// nonce from BookResponse; it is what distinguishes the current holder
+// from a zombie whose expired cell was re-booked to the same worker ID.
+// Returns Stale when the worker no longer holds the job.
+func (q *Queue) Progress(jobID int, worker string, attempt int, ckpt *CheckpointRecord) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	now := q.opts.now()
 	q.reapLocked(now)
-	j, err := q.heldLocked(jobID, worker)
+	j, err := q.heldLocked(jobID, worker, attempt)
 	if err != nil {
 		return err
 	}
@@ -343,14 +486,36 @@ func (q *Queue) Progress(jobID int, worker string, ckpt *CheckpointRecord) error
 }
 
 // Complete records a worker's finished cell (durably, with an fsync).
-// Returns Stale when the worker no longer holds the job.
-func (q *Queue) Complete(jobID int, worker string, run RunResult) error {
+// A successful cell must have every artifact body behind its digests in
+// the store already — a complete whose blobs are missing is rejected with
+// ErrMissingBlobs, because a sweep that drains without its bodies cannot
+// produce the bundle it promises. Returns Stale when the worker no longer
+// holds the job.
+func (q *Queue) Complete(jobID int, worker string, attempt int, run RunResult) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.reapLocked(q.opts.now())
-	j, err := q.heldLocked(jobID, worker)
+	j, err := q.heldLocked(jobID, worker, attempt)
 	if err != nil {
 		return err
+	}
+	if run.Err == "" {
+		if len(run.Digests) == 0 {
+			// A digest-less success would drain the sweep permanently
+			// unable to produce its bundle.
+			return fmt.Errorf("%w: job %d: completion carries no artifact digests",
+				ErrMissingBlobs, jobID)
+		}
+		missing := 0
+		for _, digest := range run.Digests {
+			if !q.store.Has(digest) {
+				missing++
+			}
+		}
+		if missing > 0 {
+			return fmt.Errorf("%w: job %d: %d of %d bodies not uploaded",
+				ErrMissingBlobs, jobID, missing, len(run.Digests))
+		}
 	}
 	j.Run = &run
 	if run.Err != "" {
@@ -361,13 +526,93 @@ func (q *Queue) Complete(jobID int, worker string, run RunResult) error {
 	return q.appendResultLocked(j)
 }
 
-func (q *Queue) heldLocked(jobID int, worker string) (*Job, error) {
+// Release returns a held cell to the queue before its lease expires — a
+// worker abandoning a cell (upload rejected, transient dispatcher error)
+// calls it so the cell re-books immediately instead of idling out the
+// lease. The booking attempt is spent either way, and reason is
+// preserved in the failure record if the cell exhausts its attempts.
+// Returns Stale when the caller no longer holds the cell, which an
+// abandoning worker ignores.
+func (q *Queue) Release(jobID int, worker string, attempt int, reason string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reapLocked(q.opts.now())
+	j, err := q.heldLocked(jobID, worker, attempt)
+	if err != nil {
+		return err
+	}
+	prevState, prevWorker := j.State, j.Worker
+	if j.Attempt >= q.opts.MaxAttempts {
+		// The same backstop lease expiry applies: a cell abandoned on
+		// every attempt must not ping-pong through the queue forever.
+		msg := fmt.Sprintf("dispatch: abandoned after %d attempts (last worker %s)",
+			j.Attempt, prevWorker)
+		if reason != "" {
+			msg += ": " + reason
+		}
+		j.State = JobFailed
+		j.Run = &RunResult{Err: msg}
+		if err := q.appendResultLocked(j); err != nil {
+			j.State, j.Run = prevState, nil
+			return err
+		}
+		return nil
+	}
+	j.State = JobQueued
+	j.Worker = ""
+	if err := q.appendStateLocked(j); err != nil {
+		j.State, j.Worker = prevState, prevWorker
+		return err
+	}
+	return nil
+}
+
+// PutArtifact stores one artifact body under its digest (verifying the
+// content hashes to it) and journals the upload with its size — the
+// record Resume later verifies the blob against. Re-putting a digest the
+// store already holds is the dedup no-op — nothing is journaled twice —
+// and the bool reports whether a new blob was written.
+func (q *Queue) PutArtifact(digest string, body []byte) (bool, error) {
+	stored, err := q.store.Put(digest, body)
+	if err != nil || !stored {
+		return false, err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.journal == nil {
+		return true, errors.New("dispatch: queue closed")
+	}
+	return true, q.journal.append(journalRecord{T: recArtifact, Digest: digest, Size: int64(len(body))})
+}
+
+// Store exposes the queue's content-addressed artifact store (bundle
+// serving and materialization read through it).
+func (q *Queue) Store() *artifact.Store { return q.store }
+
+// CellRun returns a copy of one cell's recorded result; ok is false while
+// the cell has none (still queued or in flight).
+func (q *Queue) CellRun(jobID int) (scenario.Run, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if jobID < 0 || jobID >= len(q.jobs) {
+		return scenario.Run{}, false
+	}
+	j := q.jobs[jobID]
+	if j.Run == nil {
+		return scenario.Run{}, false
+	}
+	return scenario.Run{Key: j.Key, Metrics: j.Run.Metrics,
+		Digests: j.Run.Digests, Err: j.Run.Err}, true
+}
+
+func (q *Queue) heldLocked(jobID int, worker string, attempt int) (*Job, error) {
 	if jobID < 0 || jobID >= len(q.jobs) {
 		return nil, fmt.Errorf("dispatch: unknown job %d", jobID)
 	}
 	j := q.jobs[jobID]
-	if (j.State != JobBooked && j.State != JobRunning) || j.Worker != worker {
-		return nil, fmt.Errorf("%w: job %d is %s (held by %q)", ErrStale, jobID, j.State, j.Worker)
+	if (j.State != JobBooked && j.State != JobRunning) || j.Worker != worker || j.Attempt != attempt {
+		return nil, fmt.Errorf("%w: job %d is %s (held by %q, attempt %d)",
+			ErrStale, jobID, j.State, j.Worker, j.Attempt)
 	}
 	return j, nil
 }

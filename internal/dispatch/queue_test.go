@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sapsim"
+	"sapsim/internal/artifact"
 	"sapsim/internal/scenario"
 	"sapsim/internal/sim"
 )
@@ -45,11 +46,22 @@ func newTestQueue(t *testing.T, opts QueueOptions) (*Queue, string) {
 	return q, dir
 }
 
+// putBody stores one artifact body in the queue's store and returns its
+// digest — completes of successful cells must have their blobs uploaded.
+func putBody(t *testing.T, q *Queue, body string) string {
+	t.Helper()
+	digest := artifact.Digest([]byte(body))
+	if _, err := q.PutArtifact(digest, []byte(body)); err != nil {
+		t.Fatal(err)
+	}
+	return digest
+}
+
 func TestQueueBookProgressComplete(t *testing.T) {
 	clock := &fakeClock{t: time.Unix(1000, 0)}
 	q, _ := newTestQueue(t, QueueOptions{Lease: time.Minute, now: clock.now})
 
-	job, drained, err := q.Book("w1")
+	job, drained, err := q.Book("w1", 1)
 	if err != nil || drained || job == nil {
 		t.Fatalf("Book = %v, %v, %v", job, drained, err)
 	}
@@ -61,7 +73,7 @@ func TestQueueBookProgressComplete(t *testing.T) {
 	}
 
 	// Progress moves booked → running and renews the lease.
-	if err := q.Progress(job.ID, "w1", nil); err != nil {
+	if err := q.Progress(job.ID, "w1", job.Attempt, nil); err != nil {
 		t.Fatal(err)
 	}
 	snap := q.Snapshot()
@@ -69,15 +81,26 @@ func TestQueueBookProgressComplete(t *testing.T) {
 		t.Fatalf("after heartbeat state = %s, want running", snap[0].State)
 	}
 
-	// A stranger cannot report on w1's job.
-	if err := q.Progress(job.ID, "w2", nil); !errors.Is(err, ErrStale) {
+	// A stranger cannot report on w1's job, and neither can w1 itself
+	// under a stale booking nonce.
+	if err := q.Progress(job.ID, "w2", job.Attempt, nil); !errors.Is(err, ErrStale) {
 		t.Fatalf("stale progress error = %v, want ErrStale", err)
 	}
-	if err := q.Complete(job.ID, "w2", RunResult{}); !errors.Is(err, ErrStale) {
+	if err := q.Progress(job.ID, "w1", job.Attempt+1, nil); !errors.Is(err, ErrStale) {
+		t.Fatalf("wrong-attempt progress error = %v, want ErrStale", err)
+	}
+	if err := q.Complete(job.ID, "w2", job.Attempt, RunResult{}); !errors.Is(err, ErrStale) {
 		t.Fatalf("stale complete error = %v, want ErrStale", err)
 	}
 
-	if err := q.Complete(job.ID, "w1", RunResult{Digests: map[string]string{"fig5": "ab"}}); err != nil {
+	// A successful completion whose blobs were never uploaded is rejected.
+	if err := q.Complete(job.ID, "w1", job.Attempt,
+		RunResult{Digests: map[string]string{"fig5": artifact.Digest([]byte("never uploaded"))}}); !errors.Is(err, ErrMissingBlobs) {
+		t.Fatalf("complete without blobs = %v, want ErrMissingBlobs", err)
+	}
+
+	digest := putBody(t, q, "fig5 body")
+	if err := q.Complete(job.ID, "w1", job.Attempt, RunResult{Digests: map[string]string{"fig5": digest}}); err != nil {
 		t.Fatal(err)
 	}
 	if q.Snapshot()[0].State != "done" {
@@ -88,25 +111,114 @@ func TestQueueBookProgressComplete(t *testing.T) {
 	}
 }
 
+// TestReleaseRequeuesImmediately: an abandoning worker hands its lease
+// back and the cell re-books at once — no one waits out the lease — while
+// the MaxAttempts backstop still catches a cell abandoned on every try.
+func TestReleaseRequeuesImmediately(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	q, _ := newTestQueue(t, QueueOptions{Lease: time.Minute, MaxAttempts: 2, now: clock.now})
+
+	j, _, err := q.Book("w1", 1)
+	if err != nil || j == nil {
+		t.Fatalf("Book = %+v, %v", j, err)
+	}
+	if err := q.Release(j.ID, "w1", j.Attempt, "upload: connection reset"); err != nil {
+		t.Fatal(err)
+	}
+	// No clock advance: the release alone frees the cell.
+	j2, _, err := q.Book("w2", 1)
+	if err != nil || j2 == nil || j2.ID != j.ID || j2.Attempt != 2 {
+		t.Fatalf("post-release booking = %+v, %v; want job %d attempt 2", j2, err, j.ID)
+	}
+	// A release under a stale nonce (the first booking) is refused.
+	if err := q.Release(j.ID, "w1", j.Attempt, ""); !errors.Is(err, ErrStale) {
+		t.Fatalf("stale release = %v, want ErrStale", err)
+	}
+	// Releasing the final allowed attempt fails the cell for good, and
+	// the worker's reported cause survives into the failure record.
+	if err := q.Release(j2.ID, "w2", j2.Attempt, "upload: 507 insufficient storage"); err != nil {
+		t.Fatal(err)
+	}
+	snap := q.Snapshot()
+	if snap[j.ID].State != "failed" || !strings.Contains(snap[j.ID].Err, "abandoned after 2 attempts") ||
+		!strings.Contains(snap[j.ID].Err, "507 insufficient storage") {
+		t.Fatalf("twice-released cell = %+v, want failed via MaxAttempts backstop with cause", snap[j.ID])
+	}
+}
+
+// TestCapacityWeightedBooking: bookings are weighted by the worker's
+// advertised capacity — a 4-job worker holds four concurrent leases while
+// a 1-job worker is held to one, so it drains cells proportionally faster.
+func TestCapacityWeightedBooking(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	q, _ := newTestQueue(t, QueueOptions{Lease: time.Minute, now: clock.now}) // 4 cells
+
+	small, _, err := q.Book("small", 1)
+	if err != nil || small == nil {
+		t.Fatalf("small booking = %+v, %v", small, err)
+	}
+	// At capacity: the small worker gets nothing more while its lease is
+	// outstanding, even though cells are free.
+	if j, drained, err := q.Book("small", 1); err != nil || drained || j != nil {
+		t.Fatalf("over-capacity booking = %+v, drained=%v, %v; want nil", j, drained, err)
+	}
+
+	// A 3-capacity worker takes the remaining three cells back to back —
+	// three times the small worker's share of the queue.
+	var held []*Job
+	for i := 0; i < 3; i++ {
+		j, _, err := q.Book("big", 3)
+		if err != nil || j == nil {
+			t.Fatalf("big booking %d = %+v, %v", i, j, err)
+		}
+		held = append(held, j)
+	}
+	if j, _, _ := q.Book("big", 3); j != nil {
+		t.Fatalf("big worker booked a 4th cell %d past its capacity", j.ID)
+	}
+
+	// Completing a cell frees that worker's slot: after finishing one,
+	// big may book again — but the matrix is fully leased, so nothing is
+	// free for anyone until a lease expires.
+	digest := putBody(t, q, "body")
+	if err := q.Complete(held[0].ID, "big", held[0].Attempt,
+		RunResult{Digests: map[string]string{"fig5": digest}}); err != nil {
+		t.Fatal(err)
+	}
+	if j, drained, err := q.Book("big", 3); err != nil || drained || j != nil {
+		t.Fatalf("booking on a fully-leased matrix = %+v, drained=%v, %v; want nil", j, drained, err)
+	}
+
+	// Expire the outstanding leases: the freed cells re-book, and the
+	// capacity weighting still holds — small gets one, big gets the rest.
+	clock.advance(2 * time.Minute)
+	if j, _, err := q.Book("small", 1); err != nil || j == nil {
+		t.Fatalf("small worker starved after lease expiry: %+v, %v", j, err)
+	}
+	if j, _, err := q.Book("big", 3); err != nil || j == nil {
+		t.Fatalf("big worker got nothing after lease expiry: %+v, %v", j, err)
+	}
+}
+
 func TestQueueLeaseExpiryRebooks(t *testing.T) {
 	clock := &fakeClock{t: time.Unix(1000, 0)}
 	q, _ := newTestQueue(t, QueueOptions{Lease: time.Minute, MaxAttempts: 3, now: clock.now})
 
-	job, _, err := q.Book("w1")
+	job, _, err := q.Book("w1", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// Within the lease the job stays w1's: another worker books the NEXT
 	// cell, not this one.
-	job2, _, err := q.Book("w2")
+	job2, _, err := q.Book("w2", 1)
 	if err != nil || job2.ID != 1 {
 		t.Fatalf("second booking = %+v, %v; want job 1", job2, err)
 	}
 
 	// Past the lease, w1's cell re-queues and re-books to w3.
 	clock.advance(2 * time.Minute)
-	job3, _, err := q.Book("w3")
+	job3, _, err := q.Book("w3", 1)
 	if err != nil || job3.ID != 0 {
 		t.Fatalf("post-expiry booking = %+v, %v; want job 0 re-booked", job3, err)
 	}
@@ -114,18 +226,18 @@ func TestQueueLeaseExpiryRebooks(t *testing.T) {
 		t.Fatalf("re-booked attempt = %d, want 2", job3.Attempt)
 	}
 	// The zombie w1 can no longer report.
-	if err := q.Progress(job.ID, "w1", nil); !errors.Is(err, ErrStale) {
+	if err := q.Progress(job.ID, "w1", job.Attempt, nil); !errors.Is(err, ErrStale) {
 		t.Fatalf("zombie progress error = %v, want ErrStale", err)
 	}
 
 	// Exhausting MaxAttempts fails the job permanently.
 	clock.advance(2 * time.Minute) // expire w3 (attempt 2) and w2's job
-	if _, _, err := q.Book("w4"); err != nil {
+	if _, _, err := q.Book("w4", 1); err != nil {
 		t.Fatal(err)
 	} // job 0 attempt 3
 	clock.advance(2 * time.Minute)
 	for {
-		j, _, err := q.Book("w5")
+		j, _, err := q.Book("w5", 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -137,7 +249,7 @@ func TestQueueLeaseExpiryRebooks(t *testing.T) {
 		}
 	}
 	clock.advance(2 * time.Minute)
-	_, _, _ = q.Book("w6") // trigger a reap with everything expired
+	_, _, _ = q.Book("w6", 1) // trigger a reap with everything expired
 	found := false
 	for _, st := range q.Snapshot() {
 		if st.ID == 0 {
@@ -161,16 +273,16 @@ func TestResumeRequeuesInFlight(t *testing.T) {
 	}
 
 	// Complete job 0, leave job 1 booked and job 2 running, job 3 queued.
-	j0, _, _ := q.Book("w1")
-	done := RunResult{Digests: map[string]string{"fig5": "d0"}}
+	j0, _, _ := q.Book("w1", 2)
+	done := RunResult{Digests: map[string]string{"fig5": putBody(t, q, "fig5 body of job 0")}}
 	done.Metrics.LiveVMs = 42
-	if err := q.Complete(j0.ID, "w1", done); err != nil {
+	if err := q.Complete(j0.ID, "w1", j0.Attempt, done); err != nil {
 		t.Fatal(err)
 	}
-	q.Book("w1")
-	j2, _, _ := q.Book("w2")
+	q.Book("w1", 2)
+	j2, _, _ := q.Book("w2", 1)
 	ck := NewCheckpointRecord(j2.Key, testSpec().Base, checkpointFixture())
-	if err := q.Progress(j2.ID, "w2", &ck); err != nil {
+	if err := q.Progress(j2.ID, "w2", j2.Attempt, &ck); err != nil {
 		t.Fatal(err)
 	}
 	q.Close() // crash
@@ -222,12 +334,13 @@ func TestResumeTornAndCorruptJournal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j0, _, _ := q.Book("w1")
-	if err := q.Complete(j0.ID, "w1", RunResult{}); err != nil {
+	digest := putBody(t, q, "torn-test body")
+	j0, _, _ := q.Book("w1", 1)
+	if err := q.Complete(j0.ID, "w1", j0.Attempt, RunResult{Digests: map[string]string{"fig5": digest}}); err != nil {
 		t.Fatal(err)
 	}
-	j1, _, _ := q.Book("w1")
-	if err := q.Complete(j1.ID, "w1", RunResult{}); err != nil {
+	j1, _, _ := q.Book("w1", 1)
+	if err := q.Complete(j1.ID, "w1", j1.Attempt, RunResult{Digests: map[string]string{"fig5": digest}}); err != nil {
 		t.Fatal(err)
 	}
 	q.Close()
@@ -270,11 +383,16 @@ func TestResumeTornAndCorruptJournal(t *testing.T) {
 	}
 	// The healed journal keeps accepting records: book and complete the
 	// damaged cell again, resume once more, and the result sticks.
-	jb, _, err := r.Book("w9")
+	jb, _, err := r.Book("w9", 1)
 	if err != nil || jb == nil || jb.ID != 1 {
 		t.Fatalf("post-recovery booking = %+v, %v; want job 1", jb, err)
 	}
-	if err := r.Complete(jb.ID, "w9", RunResult{}); err != nil {
+	// A digest-less success is refused — the sweep could never bundle.
+	if err := r.Complete(jb.ID, "w9", jb.Attempt, RunResult{}); !errors.Is(err, ErrMissingBlobs) {
+		t.Fatalf("digest-less complete = %v, want ErrMissingBlobs", err)
+	}
+	if err := r.Complete(jb.ID, "w9", jb.Attempt,
+		RunResult{Digests: map[string]string{"fig5": putBody(t, r, "torn-test body")}}); err != nil {
 		t.Fatal(err)
 	}
 	r.Close()

@@ -16,9 +16,13 @@ import (
 // Wire types of the dispatcher protocol. Every request body and response
 // is JSON; errors travel as plain-text bodies with a non-2xx status.
 
-// BookRequest asks for the next queued cell.
+// BookRequest asks for the next queued cell. Capacity advertises the
+// worker's concurrent-cell capacity (simworker -jobs): the queue books a
+// worker up to its capacity in concurrent leases, so bookings are
+// weighted by it.
 type BookRequest struct {
-	Worker string
+	Worker   string
+	Capacity int `json:",omitempty"`
 }
 
 // BookResponse carries a booked cell: everything a stateless worker needs
@@ -39,18 +43,35 @@ type bookKey struct {
 }
 
 // ProgressRequest is a worker heartbeat: it renews the job's lease and
-// optionally journals a checkpoint snapshot.
+// optionally journals a checkpoint snapshot. Attempt is the booking nonce
+// from BookResponse — a report from a previous booking of the same cell
+// is stale even if the worker ID matches.
 type ProgressRequest struct {
 	Worker     string
 	Job        int
+	Attempt    int
 	Checkpoint *CheckpointRecord `json:",omitempty"`
 }
 
-// CompleteRequest reports a finished cell.
+// CompleteRequest reports a finished cell. Every artifact body behind
+// Run.Digests must already be uploaded (PUT /artifact/{digest}); the
+// dispatcher rejects the completion otherwise.
 type CompleteRequest struct {
-	Worker string
-	Job    int
-	Run    RunResult
+	Worker  string
+	Job     int
+	Attempt int
+	Run     RunResult
+}
+
+// ReleaseRequest hands an abandoned cell back before its lease expires,
+// so it re-books immediately instead of costing the fleet a lease
+// period of idleness. Reason records why (it survives into the failure
+// record if the cell exhausts its attempts).
+type ReleaseRequest struct {
+	Worker  string
+	Job     int
+	Attempt int
+	Reason  string `json:",omitempty"`
 }
 
 // StateResponse is the /state snapshot.
@@ -97,8 +118,19 @@ func (d *Dispatcher) Handler() http.Handler {
 	mux.HandleFunc("POST /book", d.handleBook)
 	mux.HandleFunc("POST /progress", d.handleProgress)
 	mux.HandleFunc("POST /complete", d.handleComplete)
+	mux.HandleFunc("POST /release", d.handleRelease)
 	mux.HandleFunc("GET /state", d.handleState)
 	mux.HandleFunc("GET /result", d.handleResult)
+	mux.HandleFunc("HEAD /artifact/{digest}", d.handleArtifactHead)
+	mux.HandleFunc("PUT /artifact/{digest}", d.handleArtifactPut)
+	mux.HandleFunc("GET /artifact/{digest}", d.handleArtifactGet)
+	mux.HandleFunc("GET /bundle", d.handleBundleIndex)
+	mux.HandleFunc("GET /bundle/report", d.handleBundleReport)
+	mux.HandleFunc("GET /bundle/runs.csv", d.handleBundleRunsCSV)
+	mux.HandleFunc("GET /bundle/diff", d.handleBundleDiff)
+	mux.HandleFunc("GET /bundle/scenario/{name}", d.handleBundleScenario)
+	mux.HandleFunc("GET /bundle/cell/{scenario}/{variant}/{seed}", d.handleBundleCell)
+	mux.HandleFunc("GET /bundle/cell/{scenario}/{variant}/{seed}/{id}", d.handleBundleArtifact)
 	return mux
 }
 
@@ -124,7 +156,7 @@ func (d *Dispatcher) handleBook(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	job, drained, err := d.queue.Book(req.Worker)
+	job, drained, err := d.queue.Book(req.Worker, req.Capacity)
 	switch {
 	case err != nil:
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -151,7 +183,7 @@ func (d *Dispatcher) handleProgress(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if err := d.queue.Progress(req.Job, req.Worker, req.Checkpoint); err != nil {
+	if err := d.queue.Progress(req.Job, req.Worker, req.Attempt, req.Checkpoint); err != nil {
 		if errors.Is(err, ErrStale) {
 			http.Error(w, err.Error(), http.StatusConflict)
 		} else {
@@ -167,10 +199,13 @@ func (d *Dispatcher) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if err := d.queue.Complete(req.Job, req.Worker, req.Run); err != nil {
-		if errors.Is(err, ErrStale) {
+	if err := d.queue.Complete(req.Job, req.Worker, req.Attempt, req.Run); err != nil {
+		switch {
+		case errors.Is(err, ErrStale):
 			http.Error(w, err.Error(), http.StatusConflict)
-		} else {
+		case errors.Is(err, ErrMissingBlobs):
+			http.Error(w, err.Error(), http.StatusPreconditionFailed)
+		default:
 			http.Error(w, err.Error(), http.StatusBadRequest)
 		}
 		return
@@ -180,6 +215,23 @@ func (d *Dispatcher) handleComplete(w http.ResponseWriter, r *http.Request) {
 		outcome = "failed: " + req.Run.Err
 	}
 	d.logf("dispatch: job %d completed by %s: %s", req.Job, req.Worker, outcome)
+	writeJSON(w, struct{ OK bool }{true})
+}
+
+func (d *Dispatcher) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req ReleaseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := d.queue.Release(req.Job, req.Worker, req.Attempt, req.Reason); err != nil {
+		if errors.Is(err, ErrStale) {
+			http.Error(w, err.Error(), http.StatusConflict)
+		} else {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+	d.logf("dispatch: job %d released by %s", req.Job, req.Worker)
 	writeJSON(w, struct{ OK bool }{true})
 }
 

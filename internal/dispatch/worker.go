@@ -9,10 +9,12 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
 	"sapsim"
+	"sapsim/internal/artifact"
 	"sapsim/internal/scenario"
 	"sapsim/internal/sim"
 )
@@ -32,12 +34,18 @@ type WorkerHooks struct {
 	OnCheckpoint func(job int, rec CheckpointRecord)
 	// OnHeartbeat fires after each accepted heartbeat.
 	OnHeartbeat func(job int, ckpt *CheckpointRecord)
+	// OnUpload fires per artifact body shipped to the dispatcher's store;
+	// deduplicated reports blobs the store already held (skipped via the
+	// HEAD probe).
+	OnUpload func(job int, id, digest string, deduplicated bool)
 }
 
 // Worker is the simd half of the dispatcher split: a stateless loop that
 // books cells, runs each through the step-driven sapsim Session, streams
 // coalesced Progress/Checkpoint events back as lease-renewing heartbeats,
-// and delivers per-cell metrics plus artifact digests. Workers hold no
+// uploads every artifact body into the dispatcher's content-addressed
+// store (HEAD-deduplicated: blobs the store already holds never travel),
+// and completes with the cell's metrics plus digests. Workers hold no
 // sweep state — kill one at any point and its cells re-book elsewhere
 // after the lease expires.
 type Worker struct {
@@ -52,17 +60,29 @@ type Worker struct {
 	// Poll is the idle re-poll interval when no cell is free (default
 	// 500ms).
 	Poll time.Duration
-	// Concurrency is how many cells run at once (default 1).
+	// Concurrency is how many cells run at once (default 1). It is
+	// advertised to the queue as the worker's booking capacity, so an
+	// N-job worker holds up to N concurrent leases and drains the matrix
+	// proportionally faster.
 	Concurrency int
+	// AbandonBackoff is how long a slot cools down after its cell is
+	// abandoned and released (default 5s). The released cell re-books
+	// immediately — on another worker; the cool-down keeps a worker with
+	// a persistently failing path (say, its uploads rejected) from
+	// re-booking its own releases in a tight loop and burning the cell's
+	// whole attempt budget in milliseconds.
+	AbandonBackoff time.Duration
 	// Client overrides the HTTP client.
 	Client *http.Client
 	// Logf, when set, receives one line per cell transition.
 	Logf func(format string, args ...any)
 	// Hooks observe the lifecycle (tests).
 	Hooks WorkerHooks
-	// Fingerprint computes the cell's artifact digests (default
-	// sapsim.ArtifactDigests — the full 18-artifact fingerprint).
-	Fingerprint func(*sapsim.Result) (map[string]string, error)
+	// Artifacts renders the cell's artifact bodies, artifact ID → text
+	// (default sapsim.ArtifactSet — all 18 paper artifacts). Digests are
+	// taken over these bodies, and the bodies ship to the dispatcher's
+	// store.
+	Artifacts func(*sapsim.Result) (map[string]string, error)
 }
 
 func (w *Worker) fill() {
@@ -82,11 +102,14 @@ func (w *Worker) fill() {
 	if w.Concurrency <= 0 {
 		w.Concurrency = 1
 	}
+	if w.AbandonBackoff <= 0 {
+		w.AbandonBackoff = 5 * time.Second
+	}
 	if w.Client == nil {
 		w.Client = &http.Client{Timeout: 10 * time.Second}
 	}
-	if w.Fingerprint == nil {
-		w.Fingerprint = sapsim.ArtifactDigests
+	if w.Artifacts == nil {
+		w.Artifacts = sapsim.ArtifactSet
 	}
 }
 
@@ -97,43 +120,37 @@ func (w *Worker) logf(format string, args ...any) {
 }
 
 // Run books and executes cells until the dispatcher reports the sweep
-// drained (returns nil) or ctx is canceled (returns ctx.Err()). With
-// Concurrency > 1 it runs that many independent book-run loops, each
-// booking under its own derived ID ("<id>#<slot>") — the queue's stale
-// detection is per worker-ID, so two slots of one process must never be
-// able to hold (and heartbeat) the same cell.
+// drained (returns nil) or ctx is canceled (returns ctx.Err()). All
+// bookings happen under one worker ID with Concurrency advertised as
+// capacity; up to that many cells run at once. Correctness against
+// zombies — a cell whose lease expired and was re-booked, possibly back
+// to this very worker — rests on the per-booking Attempt nonce every
+// heartbeat and completion carries.
 func (w *Worker) Run(ctx context.Context) error {
 	w.fill()
-	if w.Concurrency == 1 {
-		return w.loop(ctx, w.ID)
-	}
-	errs := make([]error, w.Concurrency)
+	slots := make(chan struct{}, w.Concurrency)
 	var wg sync.WaitGroup
-	for i := 0; i < w.Concurrency; i++ {
-		wg.Add(1)
-		go func(slot int) {
-			defer wg.Done()
-			errs[slot] = w.loop(ctx, fmt.Sprintf("%s#%d", w.ID, slot))
-		}(i)
-	}
-	wg.Wait()
-	return errors.Join(errs...)
-}
-
-func (w *Worker) loop(ctx context.Context, id string) error {
+	defer wg.Wait()
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		booked, err := w.book(ctx, id)
+		select {
+		case slots <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		booked, err := w.book(ctx, w.ID)
 		switch {
 		case errors.Is(err, errDrained):
+			<-slots
 			return nil
 		case err != nil:
 			// Transient dispatcher unavailability: back off and retry.
-			w.logf("worker %s: book: %v", id, err)
+			w.logf("worker %s: book: %v", w.ID, err)
 			fallthrough
 		case booked == nil:
+			<-slots
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
@@ -145,21 +162,37 @@ func (w *Worker) loop(ctx context.Context, id string) error {
 			w.Hooks.OnBook(booked.Job, scenario.Key{Scenario: booked.Key.Scenario,
 				Variant: booked.Key.Variant, Seed: booked.Key.Seed})
 		}
-		if err := w.runCell(ctx, id, booked); err != nil {
-			if ctx.Err() != nil {
-				return ctx.Err()
+		wg.Add(1)
+		go func(booked *BookResponse) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			if err := w.runCell(ctx, w.ID, booked); err != nil && ctx.Err() == nil {
+				// Abandon the cell, handing the lease back so it re-books
+				// immediately — otherwise the queue counts it against this
+				// worker's capacity until the lease times out, idling a
+				// slot. Best-effort: if the lease is already lost (409) or
+				// the dispatcher is unreachable, expiry re-books it anyway.
+				w.logf("worker %s: job %d abandoned: %v", w.ID, booked.Job, err)
+				var ok struct{ OK bool }
+				_, _ = w.post(ctx, "/release",
+					ReleaseRequest{Worker: w.ID, Job: booked.Job, Attempt: booked.Attempt,
+						Reason: err.Error()}, &ok)
+				// Cool the slot down so a worker-local failure doesn't
+				// re-book its own release in a tight loop; healthy workers
+				// grab the cell meanwhile.
+				select {
+				case <-ctx.Done():
+				case <-time.After(w.AbandonBackoff):
+				}
 			}
-			// Lease lost or dispatcher gone: abandon the cell and ask for
-			// the next one; the queue re-books it.
-			w.logf("worker %s: job %d abandoned: %v", id, booked.Job, err)
-		}
+		}(booked)
 	}
 }
 
 // book asks for the next cell: (nil, nil) means nothing free right now.
 func (w *Worker) book(ctx context.Context, id string) (*BookResponse, error) {
 	var resp BookResponse
-	status, err := w.post(ctx, "/book", BookRequest{Worker: id}, &resp)
+	status, err := w.post(ctx, "/book", BookRequest{Worker: id, Capacity: w.Concurrency}, &resp)
 	switch {
 	case err != nil:
 		return nil, err
@@ -174,7 +207,8 @@ func (w *Worker) book(ctx context.Context, id string) (*BookResponse, error) {
 }
 
 // runCell executes one booked cell through a sapsim Session, heartbeating
-// the latest coalesced checkpoint at HeartbeatEvery, and completes it.
+// the latest coalesced checkpoint at HeartbeatEvery, ships the artifact
+// bodies, and completes it.
 func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) error {
 	key := scenario.Key{Scenario: booked.Key.Scenario, Variant: booked.Key.Variant, Seed: booked.Key.Seed}
 	spec := Spec{Base: booked.Base}
@@ -183,7 +217,7 @@ func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) e
 	if err != nil {
 		// The cell cannot be built on this worker (unknown scenario or
 		// variant name — version skew): report it as a failed run.
-		return w.complete(ctx, id, booked.Job, RunResult{Err: err.Error()})
+		return w.complete(ctx, id, booked, RunResult{Err: err.Error()})
 	}
 
 	w.logf("worker %s: job %d (%s/%s seed %d) starting", id, booked.Job,
@@ -217,14 +251,28 @@ func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) e
 			}
 		}))
 	if err != nil {
-		return w.complete(ctx, id, booked.Job, RunResult{Err: err.Error()})
+		return w.complete(ctx, id, booked, RunResult{Err: err.Error()})
 	}
 	defer session.Close()
 
 	// Heartbeat loop: renew the lease even before the first checkpoint,
-	// and stop when the cell finishes.
+	// and keep renewing through artifact rendering and upload — the
+	// post-simulation work can outlast a lease on slow links, and a cell
+	// that expires there re-runs from scratch just to hit the same wall.
+	// The loop is stopped right before the completion posts: a heartbeat
+	// racing an accepted /complete would see 409 on the done job and
+	// cancel the cell context out from under the in-flight response,
+	// misreporting a finished cell as abandoned.
 	hbDone := make(chan struct{})
 	var hbWG sync.WaitGroup
+	var hbOnce sync.Once
+	stopHeartbeat := func() {
+		hbOnce.Do(func() {
+			close(hbDone)
+			hbWG.Wait()
+		})
+	}
+	defer stopHeartbeat()
 	hbWG.Add(1)
 	go func() {
 		defer hbWG.Done()
@@ -243,7 +291,7 @@ func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) e
 			mu.Unlock()
 			var ok struct{ OK bool }
 			status, err := w.post(cellCtx, "/progress",
-				ProgressRequest{Worker: id, Job: booked.Job, Checkpoint: ckpt}, &ok)
+				ProgressRequest{Worker: id, Job: booked.Job, Attempt: booked.Attempt, Checkpoint: ckpt}, &ok)
 			if err != nil {
 				continue // transient; the lease outlives several heartbeats
 			}
@@ -277,8 +325,6 @@ func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) e
 	}()
 
 	runErr := session.RunToCompletion()
-	close(hbDone)
-	hbWG.Wait()
 
 	if runErr != nil {
 		if cause := context.Cause(cellCtx); errors.Is(cause, ErrStale) {
@@ -289,26 +335,92 @@ func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) e
 		}
 		// Deterministic run failure: record it, exactly as scenario.Sweep
 		// records the cell's error string.
-		return w.complete(ctx, id, booked.Job, RunResult{Err: runErr.Error()})
+		stopHeartbeat()
+		return w.complete(ctx, id, booked, RunResult{Err: runErr.Error()})
 	}
 
 	res, err := session.Result()
 	if err != nil {
-		return w.complete(ctx, id, booked.Job, RunResult{Err: err.Error()})
+		stopHeartbeat()
+		return w.complete(ctx, id, booked, RunResult{Err: err.Error()})
 	}
 	run := RunResult{Metrics: scenario.Extract(res)}
-	digests, err := w.Fingerprint(res)
+	bodies, err := w.Artifacts(res)
 	if err != nil {
 		run.Err = "fingerprint: " + err.Error()
+	} else {
+		digests := artifact.DigestSet(bodies)
+		run.Digests = digests
+		// Upload on the cell context: a heartbeat 409 during the upload
+		// window (the lease is renewing through it, but a crashed-and-
+		// resumed dispatcher forgets the booking) cancels the remaining
+		// transfers instead of shipping bodies toward a doomed complete.
+		if err := w.upload(cellCtx, booked.Job, bodies, digests); err != nil {
+			if cause := context.Cause(cellCtx); errors.Is(cause, ErrStale) {
+				return fmt.Errorf("job %d: %w", booked.Job, ErrStale)
+			}
+			// Otherwise the dispatcher would reject the completion anyway
+			// (412); let the lease expire and the cell re-book.
+			return fmt.Errorf("job %d: upload: %w", booked.Job, err)
+		}
 	}
-	run.Digests = digests
 	w.logf("worker %s: job %d finished", id, booked.Job)
-	return w.complete(ctx, id, booked.Job, run)
+	stopHeartbeat()
+	if err := w.complete(cellCtx, id, booked, run); err != nil {
+		if cause := context.Cause(cellCtx); errors.Is(cause, ErrStale) {
+			return fmt.Errorf("job %d: %w", booked.Job, ErrStale)
+		}
+		return err
+	}
+	return nil
 }
 
-func (w *Worker) complete(ctx context.Context, id string, job int, run RunResult) error {
+// upload ships the cell's artifact bodies into the dispatcher's store,
+// deduplicating two ways: per distinct digest within the cell, and via a
+// HEAD probe against blobs earlier cells (on any worker) already
+// delivered — the static tables identical across every cell of a sweep
+// travel once per sweep, not once per cell.
+func (w *Worker) upload(ctx context.Context, job int, bodies, digests map[string]string) error {
+	ids := make([]string, 0, len(bodies))
+	for id := range bodies {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	shipped := map[string]bool{}
+	for _, id := range ids {
+		digest := digests[id]
+		if shipped[digest] {
+			continue
+		}
+		shipped[digest] = true
+		status, err := w.do(ctx, http.MethodHead, "/artifact/"+digest, nil)
+		if err != nil {
+			return err
+		}
+		if status == http.StatusOK {
+			if w.Hooks.OnUpload != nil {
+				w.Hooks.OnUpload(job, id, digest, true)
+			}
+			continue // the store already holds this blob
+		}
+		status, err = w.do(ctx, http.MethodPut, "/artifact/"+digest, []byte(bodies[id]))
+		if err != nil {
+			return err
+		}
+		if status != http.StatusCreated && status != http.StatusOK {
+			return fmt.Errorf("dispatch: artifact %s rejected: status %d", id, status)
+		}
+		if w.Hooks.OnUpload != nil {
+			w.Hooks.OnUpload(job, id, digest, false)
+		}
+	}
+	return nil
+}
+
+func (w *Worker) complete(ctx context.Context, id string, booked *BookResponse, run RunResult) error {
 	var ok struct{ OK bool }
-	status, err := w.post(ctx, "/complete", CompleteRequest{Worker: id, Job: job, Run: run}, &ok)
+	status, err := w.post(ctx, "/complete",
+		CompleteRequest{Worker: id, Job: booked.Job, Attempt: booked.Attempt, Run: run}, &ok)
 	if err != nil {
 		return err
 	}
@@ -316,7 +428,9 @@ func (w *Worker) complete(ctx context.Context, id string, job int, run RunResult
 	case http.StatusOK:
 		return nil
 	case http.StatusConflict:
-		return fmt.Errorf("job %d: %w", job, ErrStale)
+		return fmt.Errorf("job %d: %w", booked.Job, ErrStale)
+	case http.StatusPreconditionFailed:
+		return fmt.Errorf("job %d: %w", booked.Job, ErrMissingBlobs)
 	default:
 		return fmt.Errorf("dispatch: complete: status %d", status)
 	}
@@ -349,5 +463,28 @@ func (w *Worker) post(ctx context.Context, path string, in, out any) (int, error
 	} else {
 		_, _ = io.Copy(io.Discard, resp.Body)
 	}
+	return resp.StatusCode, nil
+}
+
+// do sends one raw-body request (HEAD probes and blob PUTs) and returns
+// the status.
+func (w *Worker) do(ctx context.Context, method, path string, body []byte) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, w.Dispatcher+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	resp, err := w.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
 	return resp.StatusCode, nil
 }

@@ -357,6 +357,146 @@ func (cf CorrelatedFailures) Inject(env *core.Env) error {
 	return nil
 }
 
+// CascadingFailures couples each host's failure probability to its current
+// load: at every evaluation instant each active host fails independently
+// with hazard(load) = BaseProb × (1 + Gain × load²), load being the
+// host's allocation fraction (the hotter of vCPU and memory). The feedback
+// loop is the point — every failure evacuates residents through the Nova
+// pipeline onto the surviving hosts, raising their load and therefore
+// their hazard at the next evaluation, so failures cluster and cascade
+// toward the hottest corners of the fleet instead of falling uniformly.
+type CascadingFailures struct {
+	// Start opens the hazard window (default day 1).
+	Start sim.Time
+	// Duration is how long the window stays open (default 2 days).
+	Duration sim.Time
+	// Every is the evaluation cadence (default 1 hour).
+	Every sim.Time
+	// BaseProb is an idle host's per-evaluation failure probability.
+	// Zero disables the hazard entirely, at any gain: the coupling
+	// multiplies the base, it never invents one. (The builtin
+	// cascading-failures scenario uses 0.001.)
+	BaseProb float64
+	// Gain scales how sharply load raises the hazard (default 30: a host
+	// at 90% load is ~25x likelier to fail per evaluation than an idle
+	// one).
+	Gain float64
+	// Recover is the per-host outage duration; zero means failed hosts
+	// never return.
+	Recover sim.Time
+	// Salt decorrelates the hazard draws from other seeded injections.
+	Salt uint64
+	// OnFail observes each failure with the load that drove it (tests).
+	OnFail func(node topology.NodeID, load float64, now sim.Time)
+}
+
+// Name implements core.Injector.
+func (CascadingFailures) Name() string { return "cascading-failures" }
+
+// hazard is the per-evaluation failure probability at a given load
+// fraction, capped at 1.
+func (cf CascadingFailures) hazard(load float64) float64 {
+	base := cf.BaseProb
+	gain := cf.Gain
+	if gain == 0 {
+		gain = 30
+	}
+	if load < 0 {
+		load = 0
+	}
+	if load > 1 {
+		load = 1
+	}
+	p := base * (1 + gain*load*load)
+	switch {
+	case p > 1:
+		return 1
+	case p < 0:
+		return 0
+	}
+	return p
+}
+
+// hostLoad is the allocation fraction the hazard couples to: the hotter
+// of the host's vCPU and memory allocation against its overcommit
+// ceilings.
+func hostLoad(h *esx.Host) float64 {
+	var cpu, mem float64
+	if cap := h.VCPUCapacity(); cap > 0 {
+		cpu = float64(h.AllocatedVCPUs()) / float64(cap)
+	}
+	if cap := h.MemCapacityMB(); cap > 0 {
+		mem = float64(h.AllocatedMemMB()) / float64(cap)
+	}
+	return math.Max(cpu, mem)
+}
+
+// Inject implements core.Injector.
+func (cf CascadingFailures) Inject(env *core.Env) error {
+	if cf.BaseProb < 0 || cf.BaseProb > 1 {
+		return fmt.Errorf("cascading-failures: bad base probability %g", cf.BaseProb)
+	}
+	if cf.Gain < 0 {
+		// A negative gain would invert the premise: loaded hosts would
+		// become the safest in the fleet.
+		return fmt.Errorf("cascading-failures: negative gain %g", cf.Gain)
+	}
+	start := cf.Start
+	if start <= 0 {
+		start = sim.Day
+	}
+	duration := cf.Duration
+	if duration <= 0 {
+		duration = 2 * sim.Day
+	}
+	every := cf.Every
+	if every <= 0 {
+		every = sim.Hour
+	}
+	// One stream for the whole campaign, drawn in host-ID order each
+	// round, keeps the cascade bit-for-bit deterministic per seed.
+	rng := injectionStream(env, 0xca5cade^cf.Salt)
+	end := start + duration
+	var evaluate func(now sim.Time)
+	evaluate = func(now sim.Time) {
+		var failed []*esx.Host
+		loads := map[topology.NodeID]float64{}
+		for _, h := range env.Fleet.Hosts() { // sorted by node ID
+			if h.Node.Maintenance {
+				continue
+			}
+			load := hostLoad(h)
+			if rng.Float64() < cf.hazard(load) {
+				failed = append(failed, h)
+				loads[h.Node.ID] = load
+			}
+		}
+		// The round's victims go dark together before anyone evacuates, so
+		// no evacuation lands on a host failing in the same instant.
+		for _, h := range failed {
+			env.TakeDown(h.Node)
+		}
+		refreshBBs(env, failed)
+		for _, h := range failed {
+			if cf.OnFail != nil {
+				cf.OnFail(h.Node.ID, loads[h.Node.ID], now)
+			}
+			evacuateHost(env, h, now)
+		}
+		if cf.Recover > 0 && len(failed) > 0 {
+			victims := failed
+			_, _ = env.Engine.Schedule(now+cf.Recover, func(sim.Time) {
+				restoreHosts(env, victims)
+			})
+		}
+		if next := now + every; next < end {
+			_, _ = env.Engine.Schedule(next, evaluate)
+		}
+	}
+	_, err := env.Engine.Schedule(start, evaluate)
+	return err
+}
+
 // CapacityExpansion grows the region mid-run: newly delivered
 // general-purpose building blocks join a seed-chosen data center while the
 // fleet is live, entering the placement service through

@@ -8,6 +8,7 @@ import (
 	"sapsim/internal/core"
 	"sapsim/internal/events"
 	"sapsim/internal/sim"
+	"sapsim/internal/topology"
 	"sapsim/internal/vmmodel"
 	"sapsim/internal/workload"
 )
@@ -122,6 +123,106 @@ func TestCorrelatedFailuresInvariants(t *testing.T) {
 	if counts[events.Evacuate] != againCounts[events.Evacuate] ||
 		counts[events.EvacuateFailed] != againCounts[events.EvacuateFailed] {
 		t.Fatalf("burst outcome not deterministic: %v vs %v", counts, againCounts)
+	}
+}
+
+// TestCascadingFailuresInvariants drives the load-coupled hazard and
+// audits both the structural invariants and the coupling itself: failures
+// happen, they skew toward loaded hosts (the mean load at failure time
+// beats the idle end of the hazard curve), the feedback spreads them over
+// multiple evaluation rounds, the run is deterministic per seed, and a
+// zero base probability keeps the fleet untouched no matter the gain —
+// the coupling multiplies the hazard, it never invents one.
+func TestCascadingFailuresInvariants(t *testing.T) {
+	type failure struct {
+		load float64
+		at   sim.Time
+	}
+	var mu sync.Mutex
+	var failures []failure
+	inj := &CascadingFailures{Start: sim.Day, Duration: 2 * sim.Day, Every: sim.Hour,
+		BaseProb: 0.004, Gain: 30, Recover: 12 * sim.Hour,
+		OnFail: func(_ topology.NodeID, load float64, now sim.Time) {
+			mu.Lock()
+			failures = append(failures, failure{load: load, at: now})
+			mu.Unlock()
+		}}
+	sc := &Scenario{Name: "cascade", Injections: []core.Injector{inj}}
+	res := runScenario(t, sc, 3)
+	if err := CheckInvariants(res); err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) == 0 {
+		t.Fatal("hazard window produced no failures")
+	}
+	counts := res.Events.CountByType()
+	if counts[events.Evacuate]+counts[events.EvacuateFailed] == 0 {
+		t.Fatalf("failures displaced nobody: %v", counts)
+	}
+
+	// Load coupling: the paper-replica fleet is bin-packed, so failures
+	// drawn from hazard(load) must land overwhelmingly on loaded hosts.
+	var meanLoad float64
+	rounds := map[sim.Time]bool{}
+	for _, f := range failures {
+		meanLoad += f.load
+		rounds[f.at] = true
+	}
+	meanLoad /= float64(len(failures))
+	if meanLoad < 0.3 {
+		t.Fatalf("mean load at failure time %.2f — hazard is not load-coupled", meanLoad)
+	}
+	// Feedback: the cascade unfolds over rounds, not one burst.
+	if len(failures) > 1 && len(rounds) < 2 {
+		t.Fatalf("%d failures all landed in one round; no cascade", len(failures))
+	}
+
+	// Determinism per seed.
+	again := runScenario(t, &Scenario{Name: "cascade", Injections: []core.Injector{
+		&CascadingFailures{Start: sim.Day, Duration: 2 * sim.Day, Every: sim.Hour,
+			BaseProb: 0.004, Gain: 30, Recover: 12 * sim.Hour}}}, 3)
+	if counts[events.Evacuate] != again.Events.CountByType()[events.Evacuate] {
+		t.Fatal("cascade outcome not deterministic per seed")
+	}
+
+	// Zero base probability: quiet fleet at any gain.
+	quiet := runScenario(t, &Scenario{Name: "quiet", Injections: []core.Injector{
+		&CascadingFailures{Start: sim.Day, Duration: 2 * sim.Day, Every: sim.Hour,
+			BaseProb: 0, Gain: 1000}}}, 3)
+	if n := quiet.Events.CountByType()[events.Evacuate]; n != 0 {
+		t.Fatalf("zero base probability still evacuated %d VMs", n)
+	}
+}
+
+// TestCascadingFailuresHazardCurve pins the hazard function itself:
+// monotone in load, anchored at the base probability when idle, capped at
+// certainty.
+func TestCascadingFailuresHazardCurve(t *testing.T) {
+	cf := CascadingFailures{BaseProb: 0.01, Gain: 30}
+	if got := cf.hazard(0); got != 0.01 {
+		t.Fatalf("hazard(0) = %g, want the base probability", got)
+	}
+	prev := -1.0
+	for load := 0.0; load <= 1.0; load += 0.05 {
+		p := cf.hazard(load)
+		if p < prev {
+			t.Fatalf("hazard not monotone: hazard(%.2f) = %g < %g", load, p, prev)
+		}
+		prev = p
+	}
+	if got := (CascadingFailures{BaseProb: 1, Gain: 1000}).hazard(1); got != 1 {
+		t.Fatalf("hazard uncapped: %g", got)
+	}
+	if got := (CascadingFailures{BaseProb: 0, Gain: 1000}).hazard(1); got != 0 {
+		t.Fatalf("zero base yields hazard %g at full load, want 0", got)
+	}
+	// A negative gain would invert the premise; Inject refuses it before
+	// touching the simulation, and hazard floors at 0 regardless.
+	if err := (CascadingFailures{BaseProb: 0.01, Gain: -40}).Inject(nil); err == nil {
+		t.Fatal("negative gain accepted")
+	}
+	if got := (CascadingFailures{BaseProb: 0.5, Gain: -40}).hazard(1); got != 0 {
+		t.Fatalf("negative hazard not floored: %g", got)
 	}
 }
 

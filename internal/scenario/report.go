@@ -116,6 +116,38 @@ func RunsCSV(sr *SweepResult) string {
 	return b.String()
 }
 
+// ScenarioNames returns the sweep's scenario names in first-seen
+// (scenario-major) order; the first is the comparative baseline.
+func ScenarioNames(sr *SweepResult) []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, r := range sr.Runs {
+		if !seen[r.Key.Scenario] {
+			seen[r.Key.Scenario] = true
+			names = append(names, r.Key.Scenario)
+		}
+	}
+	return names
+}
+
+// FilterScenarios returns the subset of runs whose scenario is in names,
+// preserving the sweep's order — the slice a per-scenario report renders
+// (pass the baseline plus one scenario to get that scenario's comparative
+// page of a bundle).
+func FilterScenarios(sr *SweepResult, names ...string) *SweepResult {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	out := &SweepResult{}
+	for _, r := range sr.Runs {
+		if want[r.Key.Scenario] {
+			out.Runs = append(out.Runs, r)
+		}
+	}
+	return out
+}
+
 // ArtifactDiff renders, for every (variant, seed) cell of the sweep, which
 // of the full artifact set changed relative to the baseline scenario (the
 // sweep's first) — headline metrics can agree while a heatmap shifted, so

@@ -123,6 +123,14 @@ func Builtin() []*Scenario {
 			},
 		},
 		{
+			Name:        "cascading-failures",
+			Description: "load-coupled failure hazard over days 1-3: hot hosts fail more, evacuations heat the survivors",
+			Injections: []core.Injector{
+				CascadingFailures{Start: 1 * sim.Day, Duration: 2 * sim.Day, Every: sim.Hour,
+					BaseProb: 0.001, Gain: 30, Recover: 12 * sim.Hour},
+			},
+		},
+		{
 			Name:        "resize-wave",
 			Description: "mass-resize wave on day 2: 5% of live VMs change flavor within their class",
 			Injections: []core.Injector{

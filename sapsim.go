@@ -189,19 +189,35 @@ func ExperimentByID(id string) (Experiment, bool) {
 	return c.list[i], true
 }
 
-// ArtifactDigests computes every experiment over the finished run and
-// returns artifact ID → SHA-256 of the rendered text. It is the full
-// fingerprint of a run — the basis of the golden harness, of cross-cell
-// artifact diffing (cmd/sweep -diff), and of the dispatcher's byte-identity
-// guarantee for distributed sweeps.
-func ArtifactDigests(res *Result) (map[string]string, error) {
+// ArtifactSet computes every experiment over the finished run and returns
+// artifact ID → rendered text: the artifact bodies themselves, in the form
+// ArtifactDigests fingerprints and the dispatch layer ships into the
+// content-addressed store behind report bundles.
+func ArtifactSet(res *Result) (map[string]string, error) {
 	out := make(map[string]string)
 	for _, exp := range Experiments() {
 		art, err := exp.Compute(res)
 		if err != nil {
 			return nil, fmt.Errorf("sapsim: %s: %w", exp.ID, err)
 		}
-		out[exp.ID] = fmt.Sprintf("%x", sha256.Sum256([]byte(art.Text)))
+		out[exp.ID] = art.Text
+	}
+	return out, nil
+}
+
+// ArtifactDigests computes every experiment over the finished run and
+// returns artifact ID → SHA-256 of the rendered text. It is the full
+// fingerprint of a run — the basis of the golden harness, of cross-cell
+// artifact diffing (cmd/sweep -diff), and of the dispatcher's byte-identity
+// guarantee for distributed sweeps.
+func ArtifactDigests(res *Result) (map[string]string, error) {
+	set, err := ArtifactSet(res)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(set))
+	for id, text := range set {
+		out[id] = fmt.Sprintf("%x", sha256.Sum256([]byte(text)))
 	}
 	return out, nil
 }

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Dispatcher smoke: start dispatchd + 2 simworkers on localhost, kill one
 # worker mid-cell, and assert the lease re-book completes the sweep with a
-# merged report. Exercises the real binaries over the real wire protocol —
-# the deterministic in-process equivalent lives in internal/dispatch tests.
+# merged report. Then export the finished sweep as a report bundle with
+# `sweep -bundle` and re-verify every bundled artifact body's SHA-256
+# against the journal's digests. Exercises the real binaries over the real
+# wire protocol — the deterministic in-process equivalent lives in
+# internal/dispatch tests.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -10,6 +13,8 @@ workdir="$(mktemp -d)"
 trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 go build -o "$workdir" ./cmd/dispatchd ./cmd/simworker
+# Built separately: `sweep` would collide with the journal dir name below.
+go build -o "$workdir/sweepcli" ./cmd/sweep
 
 addr="127.0.0.1:${DISPATCH_SMOKE_PORT:-19199}"
 journal="$workdir/sweep"
@@ -63,3 +68,30 @@ grep -q 'host-failures' "$journal/report.txt" ||
 
 echo "smoke: sweep completed after worker kill + lease re-book"
 echo "smoke: journaled checkpoints: $(grep -c '"t":"checkpoint"' "$journal/journal.jsonl" || true)"
+
+# The workers uploaded every artifact body into the journal dir's CAS;
+# materialize the bundle from the finished journal and re-verify every
+# body's recomputed SHA-256 against the digests the journal recorded.
+bundle="$workdir/bundle"
+"$workdir/sweepcli" -resume "$journal" -bundle "$bundle" \
+  >"$workdir/bundle.out" 2>"$workdir/bundle.err" ||
+  { echo "smoke: bundle export failed" >&2; cat "$workdir/bundle.err" >&2; exit 1; }
+
+test -s "$bundle/index.html" || { echo "smoke: bundle has no index" >&2; exit 1; }
+test -s "$bundle/scenarios/host-failures/report.txt" ||
+  { echo "smoke: bundle is missing per-scenario reports" >&2; exit 1; }
+
+# 2 scenarios x 2 seeds x 18 artifacts = 72 bundled bodies.
+bodies=$(wc -l < "$bundle/SHA256SUMS")
+[ "$bodies" -eq 72 ] ||
+  { echo "smoke: bundle lists $bodies bodies, want 72" >&2; exit 1; }
+(cd "$bundle" && sha256sum --check --quiet SHA256SUMS) ||
+  { echo "smoke: a bundled artifact's recomputed SHA-256 differs from the journal digest" >&2; exit 1; }
+
+# Dedup: the CAS must hold strictly fewer blobs than bundled bodies (the
+# static tables are identical across all four cells).
+blobs=$(find "$journal/cas" -type f | wc -l)
+[ "$blobs" -lt "$bodies" ] ||
+  { echo "smoke: no dedup: $blobs blobs for $bodies bodies" >&2; exit 1; }
+
+echo "smoke: bundle verified ($bodies bodies, $blobs distinct blobs, all SHA-256 match the journal)"
