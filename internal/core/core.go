@@ -190,6 +190,8 @@ type sampler struct {
 	// otherwise.
 	hostLabels map[topology.NodeID]telemetry.Labels
 	vmLabels   map[vmmodel.ID]telemetry.Labels
+	// contention is sampleVMs' scratch map, cleared and refilled per sweep.
+	contention map[topology.NodeID]float64
 }
 
 func newSampler(res *Result, cfg Config) *sampler {
@@ -199,6 +201,7 @@ func newSampler(res *Result, cfg Config) *sampler {
 		app:        res.Store.Appender(),
 		hostLabels: make(map[topology.NodeID]telemetry.Labels),
 		vmLabels:   make(map[vmmodel.ID]telemetry.Labels),
+		contention: make(map[topology.NodeID]float64),
 	}
 }
 
@@ -217,9 +220,9 @@ func (s *sampler) labelsFor(h *esx.Host) telemetry.Labels {
 
 func (s *sampler) sampleHosts(now sim.Time) {
 	interval := s.cfg.SampleEvery
-	for _, h := range s.res.Fleet.Hosts() {
+	s.res.Fleet.EachHost(func(h *esx.Host) {
 		if h.Node.Maintenance {
-			continue
+			return
 		}
 		l := s.labelsFor(h)
 		m := h.Snapshot(now, interval)
@@ -238,7 +241,7 @@ func (s *sampler) sampleHosts(now sim.Time) {
 		if s.cfg.ContentionFeed {
 			s.res.Scheduler.SetContention(h.Node.BB.ID, m.CPUContentionPct)
 		}
-	}
+	})
 	// Out-of-order cannot occur: the ticker is strictly monotonic. Ignore
 	// the error to keep the hot path lean.
 	_, _ = s.app.Commit()
@@ -246,12 +249,15 @@ func (s *sampler) sampleHosts(now sim.Time) {
 
 func (s *sampler) sampleVMs(now sim.Time, live map[vmmodel.ID]*vmmodel.VM) {
 	fleet := s.res.Fleet
-	// Snapshot host contention once per host for throttling.
-	contention := make(map[topology.NodeID]float64)
-	for _, h := range fleet.Hosts() {
+	// Snapshot host contention once per host for throttling. When the VM
+	// sweep shares an instant with the host sweep this reads the snapshot
+	// cache rather than re-walking every host's VMs.
+	contention := s.contention
+	clear(contention)
+	fleet.EachHost(func(h *esx.Host) {
 		m := h.Snapshot(now, s.cfg.VMSampleEvery)
 		contention[h.Node.ID] = m.CPUContentionPct
-	}
+	})
 	for _, vm := range live {
 		if vm.Node == nil {
 			continue

@@ -62,6 +62,12 @@ type DRS struct {
 
 	migrations int
 	passes     int
+
+	// loadBuf is the scratch slice loads sorts into, reused across passes.
+	// Between the iterations of one pass only the migration's source and
+	// destination hosts recompute their snapshots (the others are served
+	// from the host snapshot cache keyed on the unchanged resident set).
+	loadBuf []nodeLoad
 }
 
 // New returns a DRS bound to the fleet.
@@ -89,11 +95,12 @@ type nodeLoad struct {
 }
 
 // loads snapshots the active nodes of the BB, sorted by ascending CPU load.
+// The returned slice aliases d.loadBuf and is valid until the next call.
 func (d *DRS) loads(bb *topology.BuildingBlock, now sim.Time) []nodeLoad {
-	var out []nodeLoad
-	for _, h := range d.fleet.HostsInBB(bb) {
+	d.loadBuf = d.loadBuf[:0]
+	d.fleet.EachHostInBB(bb, func(h *esx.Host) {
 		if h.Node.Maintenance {
-			continue
+			return
 		}
 		m := h.Snapshot(now, sim.Minute)
 		// Reconstruct raw demand: utilization is capped at 100, so add
@@ -102,8 +109,9 @@ func (d *DRS) loads(bb *topology.BuildingBlock, now sim.Time) []nodeLoad {
 		if m.CPUContentionPct > 0 {
 			cpu = m.CPUUtilPct / (1 - m.CPUContentionPct/100)
 		}
-		out = append(out, nodeLoad{host: h, cpu: cpu, mem: m.MemUsagePct})
-	}
+		d.loadBuf = append(d.loadBuf, nodeLoad{host: h, cpu: cpu, mem: m.MemUsagePct})
+	})
+	out := d.loadBuf
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].cpu != out[j].cpu {
 			return out[i].cpu < out[j].cpu
@@ -157,26 +165,26 @@ func (d *DRS) pickVM(src, dst *esx.Host, now sim.Time) *vmmodel.VM {
 	dstCores := float64(dst.Node.Capacity.PCPUCores)
 	var best *vmmodel.VM
 	bestDemand := -1.0
-	for _, vm := range src.VMs() {
+	src.EachVM(func(vm *vmmodel.VM) {
 		if vm.Flavor.RAMGiB > d.cfg.MaxVMMemGiB {
-			continue
+			return
 		}
 		if !dst.Fits(vm.Flavor) {
-			continue
+			return
 		}
 		if vm.Profile == nil {
-			continue
+			return
 		}
 		demand := vm.Profile.CPUUsage(now) * float64(vm.RequestedCPUCores())
 		// Would the move overload the destination?
 		if dstSnap.CPUUtilPct+demand/dstCores*100 > 90 {
-			continue
+			return
 		}
 		if demand > bestDemand {
 			bestDemand = demand
 			best = vm
 		}
-	}
+	})
 	return best
 }
 

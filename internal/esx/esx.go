@@ -57,6 +57,11 @@ type Host struct {
 	cfg  Config
 
 	vms map[vmmodel.ID]*vmmodel.VM
+	// sorted mirrors vms in ascending ID order, maintained incrementally on
+	// admit/evict so snapshots iterate deterministically without re-sorting.
+	sorted []*vmmodel.VM
+	// ver counts resident-set mutations; it keys the snapshot cache.
+	ver uint64
 
 	allocVCPUs int // shared (overcommitted) vCPU allocation
 	allocMemMB int64
@@ -64,6 +69,16 @@ type Host struct {
 	// pinnedCores are physical cores dedicated to CPU-pinned VMs
 	// (Sec. 8 QoS); they are removed from the shared pool.
 	pinnedCores int
+
+	// Snapshot cache: within one sampling instant the host sampler, the VM
+	// sampler's contention map, and DRS all ask for the same pure function
+	// of (t, resident set) — compute it once. Only CPUReadyMillis depends
+	// on the caller's interval; it is derived per call so the cache works
+	// across subsystems sampling at different intervals.
+	snapAt    sim.Time
+	snapVer   uint64
+	snapValid bool
+	snap      Metrics
 }
 
 // Errors returned by placement operations.
@@ -115,14 +130,20 @@ func (h *Host) FreeMemMB() int64 { return h.MemCapacityMB() - h.allocMemMB }
 // VMCount reports the number of resident VMs.
 func (h *Host) VMCount() int { return len(h.vms) }
 
-// VMs returns resident VMs sorted by ID (deterministic iteration).
+// VMs returns resident VMs sorted by ID (deterministic iteration). The
+// result is a copy; callers may admit or evict while ranging over it.
 func (h *Host) VMs() []*vmmodel.VM {
-	out := make([]*vmmodel.VM, 0, len(h.vms))
-	for _, vm := range h.vms {
-		out = append(out, vm)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	out := make([]*vmmodel.VM, len(h.sorted))
+	copy(out, h.sorted)
 	return out
+}
+
+// EachVM visits resident VMs in ascending ID order without allocating.
+// The resident set must not change during the walk.
+func (h *Host) EachVM(fn func(*vmmodel.VM)) {
+	for _, vm := range h.sorted {
+		fn(vm)
+	}
 }
 
 // Fits reports whether the flavor can be admitted under current allocations.
@@ -173,6 +194,11 @@ func (h *Host) admit(vm *vmmodel.VM) error {
 		return fmt.Errorf("%w: %s on %s", ErrInsufficientMem, vm.ID, h.Node.ID)
 	}
 	h.vms[vm.ID] = vm
+	i := sort.Search(len(h.sorted), func(i int) bool { return h.sorted[i].ID >= vm.ID })
+	h.sorted = append(h.sorted, nil)
+	copy(h.sorted[i+1:], h.sorted[i:])
+	h.sorted[i] = vm
+	h.ver++
 	if f.PinCPU {
 		h.pinnedCores += f.VCPUs
 	} else {
@@ -189,6 +215,9 @@ func (h *Host) evict(vm *vmmodel.VM) error {
 		return fmt.Errorf("%w: %s on %s", ErrNotPlaced, vm.ID, h.Node.ID)
 	}
 	delete(h.vms, vm.ID)
+	i := sort.Search(len(h.sorted), func(i int) bool { return h.sorted[i].ID >= vm.ID })
+	h.sorted = append(h.sorted[:i], h.sorted[i+1:]...)
+	h.ver++
 	if vm.Flavor.PinCPU {
 		h.pinnedCores -= vm.RequestedCPUCores()
 	} else {
@@ -233,8 +262,22 @@ func (m Metrics) StoragePct(capGB int64) float64 {
 }
 
 // Snapshot computes host metrics at simulation time t. interval is the
-// sampling period over which ready time accumulates.
+// sampling period over which ready time accumulates. The result is a pure
+// function of (t, interval, resident set), so repeated calls at one sampling
+// instant — host sampler, then the VM sampler's contention map, then a DRS
+// pass — hit a cache instead of re-walking the VMs; only the ready time is
+// re-derived for the caller's interval.
 func (h *Host) Snapshot(t sim.Time, interval sim.Time) Metrics {
+	if !h.snapValid || h.snapAt != t || h.snapVer != h.ver {
+		h.snap = h.snapshot(t)
+		h.snapAt, h.snapVer, h.snapValid = t, h.ver, true
+	}
+	m := h.snap
+	m.CPUReadyMillis = m.CPUContentionPct / 100 * float64(interval.Duration().Milliseconds())
+	return m
+}
+
+func (h *Host) snapshot(t sim.Time) Metrics {
 	var (
 		sharedDemand float64 // shared-pool vCPU demand, core units
 		pinnedUsed   float64 // delivered cores on dedicated (pinned) CPUs
@@ -244,7 +287,7 @@ func (h *Host) Snapshot(t sim.Time, interval sim.Time) Metrics {
 	)
 	// Iterate in sorted order: float accumulation is not associative, and
 	// deterministic snapshots make whole runs reproducible bit-for-bit.
-	for _, vm := range h.VMs() {
+	for _, vm := range h.sorted {
 		p := vm.Profile
 		if p == nil {
 			continue
@@ -275,7 +318,7 @@ func (h *Host) Snapshot(t sim.Time, interval sim.Time) Metrics {
 		m.CPUContentionPct = (sharedDemand - sharedSupply) / sharedDemand * 100
 	}
 	m.CPUUtilPct = (sharedDelivered + pinnedUsed) / totalCores * 100
-	m.CPUReadyMillis = m.CPUContentionPct / 100 * float64(interval.Duration().Milliseconds())
+	// CPUReadyMillis is interval-dependent; Snapshot derives it per call.
 
 	physMem := float64(h.Node.Capacity.MemoryMB)
 	usedMem := memMB + float64(h.cfg.ReservedMemMB)
@@ -337,6 +380,12 @@ type Fleet struct {
 	cfg    Config
 	hosts  map[topology.NodeID]*Host
 	region *topology.Region
+
+	// Host-set caches. Host membership changes only through AddHost (capacity
+	// expansion), so the sorted fleet-wide slice and the per-BB slices are
+	// built once and invalidated there.
+	sortedHosts []*Host
+	bbHosts     map[topology.BBID][]*Host
 }
 
 // NewFleet wraps every node of the region in a Host.
@@ -357,6 +406,8 @@ func (f *Fleet) AddHost(n *topology.Node) *Host {
 	}
 	h := &Host{Node: n, cfg: f.cfg, vms: make(map[vmmodel.ID]*vmmodel.VM)}
 	f.hosts[n.ID] = h
+	f.sortedHosts = nil
+	f.bbHosts = nil
 	return h
 }
 
@@ -375,25 +426,69 @@ func (f *Fleet) Host(id topology.NodeID) (*Host, error) {
 	return h, nil
 }
 
-// Hosts returns all hosts sorted by node ID.
-func (f *Fleet) Hosts() []*Host {
-	out := make([]*Host, 0, len(f.hosts))
-	for _, h := range f.hosts {
-		out = append(out, h)
+// sorted returns the cached fleet-wide host slice, node-ID order.
+func (f *Fleet) sorted() []*Host {
+	if f.sortedHosts == nil {
+		out := make([]*Host, 0, len(f.hosts))
+		for _, h := range f.hosts {
+			out = append(out, h)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Node.ID < out[j].Node.ID })
+		f.sortedHosts = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Node.ID < out[j].Node.ID })
-	return out
+	return f.sortedHosts
 }
 
-// HostsInBB returns the hosts of one building block, by node index.
-func (f *Fleet) HostsInBB(bb *topology.BuildingBlock) []*Host {
+// inBB returns the cached host slice of one building block, node-index order.
+func (f *Fleet) inBB(bb *topology.BuildingBlock) []*Host {
+	if hs, ok := f.bbHosts[bb.ID]; ok {
+		return hs
+	}
 	out := make([]*Host, 0, len(bb.Nodes))
 	for _, n := range bb.Nodes {
 		if h, ok := f.hosts[n.ID]; ok {
 			out = append(out, h)
 		}
 	}
+	if f.bbHosts == nil {
+		f.bbHosts = make(map[topology.BBID][]*Host)
+	}
+	f.bbHosts[bb.ID] = out
 	return out
+}
+
+// Hosts returns all hosts sorted by node ID. The result is a copy; callers
+// may expand the fleet while ranging over it.
+func (f *Fleet) Hosts() []*Host {
+	s := f.sorted()
+	out := make([]*Host, len(s))
+	copy(out, s)
+	return out
+}
+
+// EachHost visits every host in node-ID order without allocating. The host
+// set must not change during the walk.
+func (f *Fleet) EachHost(fn func(*Host)) {
+	for _, h := range f.sorted() {
+		fn(h)
+	}
+}
+
+// HostsInBB returns the hosts of one building block, by node index. The
+// result is a copy; callers may expand the fleet while ranging over it.
+func (f *Fleet) HostsInBB(bb *topology.BuildingBlock) []*Host {
+	s := f.inBB(bb)
+	out := make([]*Host, len(s))
+	copy(out, s)
+	return out
+}
+
+// EachHostInBB visits one building block's hosts in node-index order without
+// allocating. The host set must not change during the walk.
+func (f *Fleet) EachHostInBB(bb *topology.BuildingBlock, fn func(*Host)) {
+	for _, h := range f.inBB(bb) {
+		fn(h)
+	}
 }
 
 // Place admits the VM onto the node and updates the VM's placement.
@@ -487,9 +582,11 @@ type BBAllocation struct {
 }
 
 // BBAlloc aggregates allocation across the building block's active nodes.
+// Maintenance flags are re-read on every call (tests and injections flip
+// them directly on the node), so only the host slice is cached, not the sum.
 func (f *Fleet) BBAlloc(bb *topology.BuildingBlock) BBAllocation {
 	agg := BBAllocation{BB: bb}
-	for _, h := range f.HostsInBB(bb) {
+	for _, h := range f.inBB(bb) {
 		if h.Node.Maintenance {
 			continue
 		}

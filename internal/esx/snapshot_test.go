@@ -1,0 +1,77 @@
+package esx
+
+import (
+	"fmt"
+	"testing"
+
+	"sapsim/internal/sim"
+)
+
+// TestSnapshotAllocs pins the sampling hot path: Snapshot must not allocate
+// — it walks the host's maintained sorted VM slice and returns a value.
+func TestSnapshotAllocs(t *testing.T) {
+	r := testRegion(t)
+	f := NewFleet(r, DefaultConfig())
+	n := r.Nodes()[0]
+	for i := 0; i < 20; i++ {
+		vm := newVM(fmt.Sprintf("vm-%02d", i), "MK", constProfile{cpu: 0.4, mem: 0.6, tx: 10, rx: 5, disk: 0.3})
+		if err := f.Place(vm, n, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := f.Host(n.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := sim.Time(0)
+	avg := testing.AllocsPerRun(200, func() {
+		now += sim.Minute
+		m := h.Snapshot(now, sim.Minute)
+		if m.VMCount != 20 {
+			t.Fatalf("snapshot saw %d VMs, want 20", m.VMCount)
+		}
+	})
+	if avg > 0 {
+		t.Errorf("Snapshot allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestSnapshotCacheInvalidation asserts the (time, version) cache returns
+// fresh metrics after a resident-set change at the same instant, and that
+// ready time tracks the caller's interval even on cache hits.
+func TestSnapshotCacheInvalidation(t *testing.T) {
+	r := testRegion(t)
+	f := NewFleet(r, DefaultConfig())
+	n := r.Nodes()[0]
+	h, _ := f.Host(n.ID)
+
+	// Saturate the shared pool so contention (and ready time) is non-zero:
+	// aggregate demand at 2x the requested cores far exceeds the 32
+	// physical cores.
+	for i := 0; i < 8; i++ {
+		vm := newVM(fmt.Sprintf("hot-%d", i), "MN", constProfile{cpu: 2.0})
+		if err := f.Place(vm, n, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	at := sim.Hour
+	m1 := h.Snapshot(at, sim.Minute)
+	if m1.CPUContentionPct <= 0 {
+		t.Fatalf("fixture not contended: %+v", m1)
+	}
+	// Same instant, different interval: ready time must scale 5x.
+	m5 := h.Snapshot(at, 5*sim.Minute)
+	if want := m1.CPUReadyMillis * 5; m5.CPUReadyMillis != want {
+		t.Errorf("ready over 5m = %v, want %v", m5.CPUReadyMillis, want)
+	}
+	// Same instant, resident set changes: the cache must not serve stale
+	// demand.
+	victim := h.VMs()[0]
+	if err := f.Remove(victim, at); err != nil {
+		t.Fatal(err)
+	}
+	m2 := h.Snapshot(at, sim.Minute)
+	if m2.VMCount != 7 || m2.CPUContentionPct >= m1.CPUContentionPct {
+		t.Errorf("stale snapshot after evict: before %+v after %+v", m1, m2)
+	}
+}

@@ -44,20 +44,29 @@ type RequestSpec struct {
 // Flavor is shorthand for the requested flavor.
 func (r *RequestSpec) Flavor() *vmmodel.Flavor { return r.VM.Flavor }
 
+// Shared trait slices returned by Traits — there are only three request
+// shapes, so the slices are computed once. Callers must not mutate them.
+var (
+	traitsGPU          = []string{TraitGPU}
+	traitsHANA         = []string{TraitHANA}
+	traitsReservedOnly = []string{TraitReserved}
+	traitsGeneralForb  = []string{TraitHANA, TraitGPU, TraitReserved}
+)
+
 // Traits derives the placement traits of the request: HANA flavors must
 // land on HANA building blocks, GPU flavors on GPU blocks, and
 // general-purpose flavors on neither (Sec. 3.1: special-purpose BBs "do not
 // accommodate other VMs"). Reserved failover capacity is excluded for
-// every request.
+// every request. The returned slices are shared and must not be mutated.
 func (r *RequestSpec) Traits() (required, forbidden []string) {
 	f := r.Flavor()
 	switch {
 	case f.RequireGPU:
-		return []string{TraitGPU}, []string{TraitReserved}
+		return traitsGPU, traitsReservedOnly
 	case f.Class == vmmodel.HANA:
-		return []string{TraitHANA}, []string{TraitReserved}
+		return traitsHANA, traitsReservedOnly
 	default:
-		return nil, []string{TraitHANA, TraitGPU, TraitReserved}
+		return nil, traitsGeneralForb
 	}
 }
 

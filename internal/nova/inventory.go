@@ -1,0 +1,143 @@
+package nova
+
+import (
+	"sort"
+
+	"sapsim/internal/esx"
+	"sapsim/internal/placement"
+	"sapsim/internal/topology"
+)
+
+// bbEntry is the scheduler's incremental inventory record for one building
+// block: a mirror of the placement provider's traits, capacity, and usage,
+// plus a persistent HostState reused across scheduling decisions. The mirror
+// is updated on claim, release, move, and inventory refresh, so the per-
+// request candidate scan reads plain fields instead of re-querying the
+// placement service and rebuilding []*HostState.
+//
+// The mirror is sound because the scheduler is the sole writer to its
+// placement service (each scheduler is constructed with its own); tests
+// assert the two views never drift (TestInventoryMirrorConsistency).
+type bbEntry struct {
+	bb   *topology.BuildingBlock
+	name string // provider name, string(bb.ID)
+
+	// Traits, fixed at provider creation exactly as in placement.
+	hasHANA, hasGPU, hasReserved bool
+
+	// Capacity and usage mirror of the provider's two inventories.
+	vcpuCap, memCap   int64
+	vcpuUsed, memUsed int64
+
+	// state is the persistent HostState handed to filters and weighers;
+	// its Alloc and AvgContentionPct are refreshed per request.
+	state HostState
+}
+
+// matches reports whether the entry satisfies the flavor's trait
+// requirements — the same predicate placement applies to req.Traits().
+func (e *bbEntry) matches(f *vmFlavorTraits) bool {
+	switch {
+	case f.requireGPU:
+		return e.hasGPU && !e.hasReserved
+	case f.hana:
+		return e.hasHANA && !e.hasReserved
+	default:
+		return !e.hasHANA && !e.hasGPU && !e.hasReserved
+	}
+}
+
+// vmFlavorTraits is the trait shape of one request.
+type vmFlavorTraits struct {
+	requireGPU bool
+	hana       bool
+}
+
+// askRec remembers one consumer's claimed amounts and provider so releases
+// and moves can update the mirror without consulting placement.
+type askRec struct {
+	e          *bbEntry
+	vcpu, mem  int64
+}
+
+// newEntry builds the mirror record for a building block from its current
+// fleet allocation, mirroring CreateProvider's inventory and traits.
+func newEntry(bb *topology.BuildingBlock, alloc esx.BBAllocation) *bbEntry {
+	e := &bbEntry{
+		bb:          bb,
+		name:        string(bb.ID),
+		hasReserved: bb.Reserved,
+		vcpuCap:     int64(alloc.VCPUCap),
+		memCap:      alloc.MemCapMB,
+	}
+	switch bb.Kind {
+	case topology.HANA:
+		e.hasHANA = true
+	case topology.GPU:
+		e.hasGPU = true
+	}
+	e.state.BB = bb
+	return e
+}
+
+// addEntry inserts the entry keeping s.entries sorted by provider name, the
+// order placement.Candidates returns.
+func (s *Scheduler) addEntry(e *bbEntry) {
+	i := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].name >= e.name })
+	s.entries = append(s.entries, nil)
+	copy(s.entries[i+1:], s.entries[i:])
+	s.entries[i] = e
+	s.byBB[e.bb.ID] = e
+}
+
+// claim allocates in placement and, on success, applies the same delta to
+// the mirror and records the consumer's hold.
+func (s *Scheduler) claim(consumer string, e *bbEntry, vcpu, mem int64) error {
+	s.ask[placement.VCPU] = vcpu
+	s.ask[placement.MemoryMB] = mem
+	if err := s.placement.Claim(consumer, e.name, s.ask); err != nil {
+		return err
+	}
+	e.vcpuUsed += vcpu
+	e.memUsed += mem
+	s.asks[consumer] = askRec{e: e, vcpu: vcpu, mem: mem}
+	return nil
+}
+
+// release frees the consumer's placement allocation and rolls the mirror
+// back by the recorded amounts.
+func (s *Scheduler) release(consumer string) error {
+	if err := s.placement.Release(consumer); err != nil {
+		return err
+	}
+	if rec, ok := s.asks[consumer]; ok {
+		rec.e.vcpuUsed -= rec.vcpu
+		rec.e.memUsed -= rec.mem
+		delete(s.asks, consumer)
+	}
+	return nil
+}
+
+// moveMirror re-points the consumer's recorded hold after a successful
+// placement.Move.
+func (s *Scheduler) moveMirror(consumer string, to *bbEntry) {
+	rec, ok := s.asks[consumer]
+	if !ok || rec.e == to {
+		return
+	}
+	rec.e.vcpuUsed -= rec.vcpu
+	rec.e.memUsed -= rec.mem
+	to.vcpuUsed += rec.vcpu
+	to.memUsed += rec.mem
+	s.asks[consumer] = askRec{e: to, vcpu: rec.vcpu, mem: rec.mem}
+}
+
+// copyReasons snapshots the scratch elimination counters for an error that
+// outlives the scheduling call.
+func copyReasons(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

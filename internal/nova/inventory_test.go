@@ -1,0 +1,155 @@
+package nova
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"sapsim/internal/placement"
+	"sapsim/internal/sim"
+	"sapsim/internal/vmmodel"
+)
+
+// TestInventoryMirrorConsistency hammers the scheduler with random
+// schedule/delete/resize traffic plus maintenance-driven inventory
+// refreshes, then asserts the incremental inventory mirror agrees with the
+// placement service field by field, and that the mirror's candidate scan
+// returns exactly the set the placement query would.
+func TestInventoryMirrorConsistency(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewPCG(uint64(trial), 1234))
+		fleet, sched := testEnv(t, DefaultConfig())
+		catalog := vmmodel.Catalog()
+		var live []*vmmodel.VM
+		now := sim.Time(0)
+
+		for step := 0; step < 250; step++ {
+			now += sim.Minute
+			switch op := rng.IntN(12); {
+			case op < 6: // schedule
+				f := catalog[rng.IntN(len(catalog))]
+				vm := &vmmodel.VM{
+					ID:      vmmodel.ID(fmt.Sprintf("m%d-vm%d", trial, step)),
+					Flavor:  f,
+					Profile: constProfile{cpu: 0.2, mem: 0.5},
+				}
+				if _, err := sched.Schedule(&RequestSpec{VM: vm}, now); err == nil {
+					live = append(live, vm)
+				}
+			case op < 8 && len(live) > 0: // delete
+				i := rng.IntN(len(live))
+				if err := sched.Delete(live[i], now); err != nil {
+					t.Fatalf("trial %d step %d: delete: %v", trial, step, err)
+				}
+				live = append(live[:i], live[i+1:]...)
+			case op < 10 && len(live) > 0: // resize
+				i := rng.IntN(len(live))
+				target := catalog[rng.IntN(len(catalog))]
+				if target.Class != live[i].Flavor.Class {
+					continue
+				}
+				_, _ = sched.Resize(live[i], target, now)
+				if live[i].Node == nil {
+					// A failed resize whose rollback also failed (the old
+					// node went into maintenance mid-flight) strands the VM
+					// unplaced — documented Resize behavior.
+					live = append(live[:i], live[i+1:]...)
+				}
+			default: // flip a node's maintenance and refresh the BB inventory
+				bbs := fleet.Region().BBs()
+				bb := bbs[rng.IntN(len(bbs))]
+				nodes := bb.Nodes
+				if len(nodes) == 0 {
+					continue
+				}
+				n := nodes[rng.IntN(len(nodes))]
+				n.Maintenance = !n.Maintenance
+				if err := sched.RefreshInventory(bb); err != nil {
+					t.Fatalf("trial %d step %d: refresh: %v", trial, step, err)
+				}
+			}
+		}
+
+		pl := schedPlacement(sched)
+		for _, e := range sched.entries {
+			p, err := pl.Provider(e.name)
+			if err != nil {
+				t.Fatalf("trial %d: mirror has entry %s, placement does not: %v", trial, e.name, err)
+			}
+			if got, want := e.vcpuUsed, p.Used(placement.VCPU); got != want {
+				t.Errorf("trial %d: %s mirror vcpuUsed=%d placement=%d", trial, e.name, got, want)
+			}
+			if got, want := e.memUsed, p.Used(placement.MemoryMB); got != want {
+				t.Errorf("trial %d: %s mirror memUsed=%d placement=%d", trial, e.name, got, want)
+			}
+			if got, want := e.vcpuCap, p.Inventory(placement.VCPU).Capacity(); got != want {
+				t.Errorf("trial %d: %s mirror vcpuCap=%d placement=%d", trial, e.name, got, want)
+			}
+			if got, want := e.memCap, p.Inventory(placement.MemoryMB).Capacity(); got != want {
+				t.Errorf("trial %d: %s mirror memCap=%d placement=%d", trial, e.name, got, want)
+			}
+		}
+
+		// The mirror's candidate scan must reproduce the placement query:
+		// same providers, same name order, for every request shape.
+		for _, f := range catalog {
+			vm := &vmmodel.VM{ID: "probe", Flavor: f}
+			req := &RequestSpec{VM: vm}
+			ask := placement.Request{
+				placement.VCPU:     int64(f.VCPUs),
+				placement.MemoryMB: vm.RequestedMemoryMB(),
+			}
+			required, forbidden := req.Traits()
+			want, err := pl.Candidates(ask, required, forbidden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []string
+			traits := vmFlavorTraits{requireGPU: f.RequireGPU, hana: f.Class == vmmodel.HANA}
+			for _, e := range sched.entries {
+				if e.matches(&traits) &&
+					e.vcpuCap-e.vcpuUsed >= int64(f.VCPUs) &&
+					e.memCap-e.memUsed >= vm.RequestedMemoryMB() {
+					got = append(got, e.name)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d flavor %s: mirror candidates %v, placement %v", trial, f.Name, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d flavor %s: mirror candidates %v, placement %v", trial, f.Name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSchedulerScheduleAllocs pins the steady-state allocation budget of a
+// schedule+delete pair. Before the incremental inventory this was ~75
+// allocations (candidate query, host-state rebuild, rank scratch, node
+// sort); the budget leaves room only for the claim record and map churn.
+func TestSchedulerScheduleAllocs(t *testing.T) {
+	_, sched := testEnv(t, DefaultConfig())
+	flavor := vmmodel.CatalogByName()["MK"]
+	// Warm up scratch buffers and map capacity.
+	for i := 0; i < 50; i++ {
+		vm := &vmmodel.VM{ID: vmmodel.ID(fmt.Sprintf("warm-%d", i)), Flavor: flavor}
+		if _, err := sched.Schedule(&RequestSpec{VM: vm}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vm := &vmmodel.VM{ID: "alloc-probe", Flavor: flavor}
+	req := &RequestSpec{VM: vm}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := sched.Schedule(req, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.Delete(vm, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 6 {
+		t.Errorf("schedule+delete pair allocates %.1f objects, want <= 6", avg)
+	}
+}

@@ -1,0 +1,62 @@
+package nova
+
+import (
+	"fmt"
+	"testing"
+
+	"sapsim/internal/esx"
+	"sapsim/internal/placement"
+	"sapsim/internal/topology"
+	"sapsim/internal/vmmodel"
+)
+
+// benchFleet builds a 20-BB general-purpose fleet and scheduler.
+func benchFleet(b *testing.B) (*esx.Fleet, *Scheduler) {
+	b.Helper()
+	r := topology.NewRegion("bench")
+	dc := r.AddAZ("az").AddDC("dc")
+	gen := topology.Capacity{PCPUCores: 96, MemoryMB: 1 << 20, StorageGB: 8 << 10, NetworkGbps: 200}
+	for i := 0; i < 20; i++ {
+		if _, err := dc.AddBB(topology.BBID(fmt.Sprintf("bb-%02d", i)), topology.GeneralPurpose, 14, gen); err != nil {
+			b.Fatal(err)
+		}
+	}
+	fleet := esx.NewFleet(r, esx.DefaultConfig())
+	sched, err := NewScheduler(fleet, placement.NewService(), DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fleet, sched
+}
+
+// BenchmarkSchedulerSchedule measures the steady-state placement loop — the
+// exact per-decision pipeline (candidate query, filters, weighers, claim,
+// node selection, admission) a cell re-runs for every arrival, evacuation,
+// and resize. The fleet is pre-warmed to a realistic occupancy and each
+// iteration pairs one placement with one deletion so occupancy stays fixed.
+func BenchmarkSchedulerSchedule(b *testing.B) {
+	_, sched := benchFleet(b)
+	flavor := vmmodel.CatalogByName()["MK"]
+	const standing = 2000
+	vms := make([]*vmmodel.VM, 0, standing)
+	for i := 0; i < standing; i++ {
+		vm := &vmmodel.VM{ID: vmmodel.ID(fmt.Sprintf("warm-%d", i)), Flavor: flavor}
+		if _, err := sched.Schedule(&RequestSpec{VM: vm}, 0); err != nil {
+			b.Fatalf("warmup placement %d: %v", i, err)
+		}
+		vms = append(vms, vm)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm := &vmmodel.VM{ID: vmmodel.ID(fmt.Sprintf("vm-%d", i)), Flavor: flavor}
+		if _, err := sched.Schedule(&RequestSpec{VM: vm}, 0); err != nil {
+			b.Fatal(err)
+		}
+		old := vms[i%standing]
+		if err := sched.Delete(old, 0); err != nil {
+			b.Fatal(err)
+		}
+		vms[i%standing] = vm
+	}
+}

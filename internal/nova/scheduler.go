@@ -3,7 +3,6 @@ package nova
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"sapsim/internal/esx"
 	"sapsim/internal/placement"
@@ -60,9 +59,23 @@ type Scheduler struct {
 	fleet     *esx.Fleet
 	placement *placement.Service
 
+	// Incremental candidate inventory: one entry per building block, name-
+	// sorted (the order placement.Candidates returns), mirroring the
+	// placement service so the per-request scan touches no maps or locks.
+	entries []*bbEntry
+	byBB    map[topology.BBID]*bbEntry
+	// asks records each consumer's claimed amounts for mirror rollback.
+	asks map[string]askRec
+
 	// groups tracks server-group membership per VM so deletions release
 	// the policy hold.
 	groups map[vmmodel.ID]*ServerGroup
+
+	// Scratch buffers reused across Schedule calls.
+	ask     placement.Request
+	reasons map[string]int
+	hosts   []*HostState
+	rbuf    rankBuf
 
 	// stats
 	scheduled  int
@@ -82,7 +95,11 @@ func NewScheduler(fleet *esx.Fleet, pl *placement.Service, cfg Config) (*Schedul
 		cfg:        cfg,
 		fleet:      fleet,
 		placement:  pl,
+		byBB:       make(map[topology.BBID]*bbEntry),
+		asks:       make(map[string]askRec),
 		groups:     make(map[vmmodel.ID]*ServerGroup),
+		ask:        make(placement.Request, 2),
+		reasons:    make(map[string]int),
 		eliminated: make(map[string]int),
 		contention: make(map[topology.BBID]float64),
 	}
@@ -95,6 +112,7 @@ func NewScheduler(fleet *esx.Fleet, pl *placement.Service, cfg Config) (*Schedul
 		if _, err := pl.CreateProvider(string(bb.ID), inv, TraitsOfBB(bb)...); err != nil {
 			return nil, fmt.Errorf("nova: provider for %s: %w", bb.ID, err)
 		}
+		s.addEntry(newEntry(bb, alloc))
 	}
 	return s, nil
 }
@@ -129,40 +147,37 @@ type Result struct {
 	Attempts int
 }
 
-// Schedule places the VM: candidate query → filters → weighers → claim →
+// Schedule places the VM: candidate scan → filters → weighers → claim →
 // node selection → hypervisor admission. It retries down the ranked list,
-// reproducing Nova's greedy retry behavior (Sec. 2.2).
+// reproducing Nova's greedy retry behavior (Sec. 2.2). Candidates come from
+// the scheduler's incremental inventory mirror — same set, same name order
+// as the placement query it replaces — so the hot path allocates nothing on
+// a first-attempt success.
 func (s *Scheduler) Schedule(req *RequestSpec, now sim.Time) (*Result, error) {
 	f := req.Flavor()
-	ask := placement.Request{
-		placement.VCPU:     int64(f.VCPUs),
-		placement.MemoryMB: req.VM.RequestedMemoryMB(),
-	}
-	required, forbidden := req.Traits()
-	names, err := s.placement.Candidates(ask, required, forbidden)
-	if err != nil {
-		return nil, fmt.Errorf("nova: candidates: %w", err)
-	}
+	askVCPU := int64(f.VCPUs)
+	askMem := req.VM.RequestedMemoryMB()
+	traits := vmFlavorTraits{requireGPU: f.RequireGPU, hana: f.Class == vmmodel.HANA}
 
-	// Build host states from the fleet's live allocation view.
-	reasons := make(map[string]int)
-	var hosts []*HostState
-	for _, name := range names {
-		bb, err := s.fleet.Region().BB(topology.BBID(name))
-		if err != nil {
-			return nil, err
+	clear(s.reasons)
+	s.hosts = s.hosts[:0]
+	for _, e := range s.entries {
+		if !e.matches(&traits) ||
+			e.vcpuCap-e.vcpuUsed < askVCPU || e.memCap-e.memUsed < askMem {
+			continue
 		}
-		h := &HostState{BB: bb, Alloc: s.fleet.BBAlloc(bb), AvgContentionPct: s.contention[bb.ID]}
-		if passed := s.applyFilters(req, h, reasons); passed {
-			hosts = append(hosts, h)
+		e.state.Alloc = s.fleet.BBAlloc(e.bb)
+		e.state.AvgContentionPct = s.contention[e.bb.ID]
+		if passed := s.applyFilters(req, &e.state, s.reasons); passed {
+			s.hosts = append(s.hosts, &e.state)
 		}
 	}
-	if len(hosts) == 0 {
+	if len(s.hosts) == 0 {
 		s.failed++
-		return nil, &NoValidHostError{VM: req.VM.ID, Reasons: reasons}
+		return nil, &NoValidHostError{VM: req.VM.ID, Reasons: copyReasons(s.reasons)}
 	}
 
-	ranked := rank(req, hosts, s.cfg.Weighers)
+	ranked := s.rbuf.rank(req, s.hosts, s.cfg.Weighers)
 	attempts := 0
 	for _, h := range ranked {
 		if attempts >= s.cfg.MaxAttempts {
@@ -174,19 +189,19 @@ func (s *Scheduler) Schedule(req *RequestSpec, now sim.Time) (*Result, error) {
 			// Aggregate capacity exists but no single node fits: the
 			// fragmentation case. Retry the next host.
 			s.retries++
-			reasons["NodeFragmentation"]++
+			s.reasons["NodeFragmentation"]++
 			continue
 		}
-		if err := s.placement.Claim(string(req.VM.ID), string(h.BB.ID), ask); err != nil {
+		if err := s.claim(string(req.VM.ID), s.byBB[h.BB.ID], askVCPU, askMem); err != nil {
 			s.retries++
-			reasons["ClaimConflict"]++
+			s.reasons["ClaimConflict"]++
 			continue
 		}
 		if err := s.fleet.Place(req.VM, node, now); err != nil {
 			// Roll back the claim and retry elsewhere.
-			_ = s.placement.Release(string(req.VM.ID))
+			_ = s.release(string(req.VM.ID))
 			s.retries++
-			reasons["AdmissionFailed"]++
+			s.reasons["AdmissionFailed"]++
 			continue
 		}
 		s.scheduled++
@@ -197,7 +212,7 @@ func (s *Scheduler) Schedule(req *RequestSpec, now sim.Time) (*Result, error) {
 		return &Result{BB: h.BB, Node: node, Attempts: attempts}, nil
 	}
 	s.failed++
-	return nil, &NoValidHostError{VM: req.VM.ID, Reasons: reasons}
+	return nil, &NoValidHostError{VM: req.VM.ID, Reasons: copyReasons(s.reasons)}
 }
 
 func (s *Scheduler) applyFilters(req *RequestSpec, h *HostState, reasons map[string]int) bool {
@@ -212,37 +227,42 @@ func (s *Scheduler) applyFilters(req *RequestSpec, h *HostState, reasons map[str
 }
 
 // selectNode picks a node within the building block per the class policy,
-// or nil when no node fits.
+// or nil when no node fits. A single argmin pass replaces sorting the whole
+// fitting slice: the comparator is a strict total order (unique node IDs
+// break ties), so the minimum is the element the sort put first.
 func (s *Scheduler) selectNode(bb *topology.BuildingBlock, f *vmmodel.Flavor) *topology.Node {
 	policy := s.cfg.GeneralNodePolicy
 	if f.Class == vmmodel.HANA {
 		policy = s.cfg.HANANodePolicy
 	}
-	hosts := s.fleet.HostsInBB(bb)
-	var fitting []*esx.Host
-	for _, h := range hosts {
-		if h.Fits(f) {
-			fitting = append(fitting, h)
+	var best *esx.Host
+	var bestFree int64
+	s.fleet.EachHostInBB(bb, func(h *esx.Host) {
+		if !h.Fits(f) {
+			return
 		}
-	}
-	if len(fitting) == 0 {
+		free := h.FreeMemMB()
+		if best == nil {
+			best, bestFree = h, free
+			return
+		}
+		switch {
+		case free != bestFree:
+			if policy == PackNodes {
+				if free < bestFree {
+					best, bestFree = h, free
+				}
+			} else if free > bestFree { // SpreadNodes
+				best, bestFree = h, free
+			}
+		case h.Node.ID < best.Node.ID:
+			best = h
+		}
+	})
+	if best == nil {
 		return nil
 	}
-	sort.Slice(fitting, func(i, j int) bool {
-		a, b := fitting[i], fitting[j]
-		switch policy {
-		case PackNodes:
-			if a.FreeMemMB() != b.FreeMemMB() {
-				return a.FreeMemMB() < b.FreeMemMB()
-			}
-		default: // SpreadNodes
-			if a.FreeMemMB() != b.FreeMemMB() {
-				return a.FreeMemMB() > b.FreeMemMB()
-			}
-		}
-		return a.Node.ID < b.Node.ID
-	})
-	return fitting[0].Node
+	return best.Node
 }
 
 // Delete releases a VM: hypervisor eviction plus placement release plus
@@ -255,7 +275,7 @@ func (s *Scheduler) Delete(vm *vmmodel.VM, now sim.Time) error {
 		g.forget(vm.ID)
 		delete(s.groups, vm.ID)
 	}
-	if err := s.placement.Release(string(vm.ID)); err != nil &&
+	if err := s.release(string(vm.ID)); err != nil &&
 		!errors.Is(err, placement.ErrUnknownConsumer) {
 		return err
 	}
@@ -280,7 +300,7 @@ func (s *Scheduler) Resize(vm *vmmodel.VM, newFlavor *vmmodel.Flavor, now sim.Ti
 	if err := s.fleet.Evict(vm); err != nil {
 		return nil, err
 	}
-	if err := s.placement.Release(string(vm.ID)); err != nil &&
+	if err := s.release(string(vm.ID)); err != nil &&
 		!errors.Is(err, placement.ErrUnknownConsumer) {
 		return nil, err
 	}
@@ -291,11 +311,8 @@ func (s *Scheduler) Resize(vm *vmmodel.VM, newFlavor *vmmodel.Flavor, now sim.Ti
 	}
 	// Roll back: old flavor, old node, old claim.
 	vm.Flavor = oldFlavor
-	ask := placement.Request{
-		placement.VCPU:     int64(oldFlavor.VCPUs),
-		placement.MemoryMB: vm.RequestedMemoryMB(),
-	}
-	if cerr := s.placement.Claim(string(vm.ID), string(oldNode.BB.ID), ask); cerr != nil {
+	if cerr := s.claim(string(vm.ID), s.byBB[oldNode.BB.ID],
+		int64(oldFlavor.VCPUs), vm.RequestedMemoryMB()); cerr != nil {
 		return nil, fmt.Errorf("nova: resize rollback claim: %w (after %w)", cerr, err)
 	}
 	if perr := s.fleet.Place(vm, oldNode, now); perr != nil {
@@ -316,7 +333,7 @@ func (s *Scheduler) Evacuate(vm *vmmodel.VM, now sim.Time) (*Result, error) {
 	if err := s.fleet.Evict(vm); err != nil {
 		return nil, err
 	}
-	if err := s.placement.Release(string(vm.ID)); err != nil &&
+	if err := s.release(string(vm.ID)); err != nil &&
 		!errors.Is(err, placement.ErrUnknownConsumer) {
 		return nil, err
 	}
@@ -338,8 +355,15 @@ func (s *Scheduler) RefreshInventory(bb *topology.BuildingBlock) error {
 		placement.Inventory{Total: int64(alloc.VCPUCap), AllocationRatio: 1}); err != nil {
 		return err
 	}
-	return s.placement.UpdateInventory(string(bb.ID), placement.MemoryMB,
-		placement.Inventory{Total: alloc.MemCapMB, AllocationRatio: 1})
+	if err := s.placement.UpdateInventory(string(bb.ID), placement.MemoryMB,
+		placement.Inventory{Total: alloc.MemCapMB, AllocationRatio: 1}); err != nil {
+		return err
+	}
+	if e, ok := s.byBB[bb.ID]; ok {
+		e.vcpuCap = int64(alloc.VCPUCap)
+		e.memCap = alloc.MemCapMB
+	}
+	return nil
 }
 
 // RegisterBB creates a placement resource provider for a building block
@@ -359,6 +383,7 @@ func (s *Scheduler) RegisterBB(bb *topology.BuildingBlock) error {
 		}
 		return fmt.Errorf("nova: provider for %s: %w", bb.ID, err)
 	}
+	s.addEntry(newEntry(bb, alloc))
 	return nil
 }
 
@@ -369,6 +394,9 @@ func (s *Scheduler) MoveBB(vm *vmmodel.VM, to *topology.Node, now sim.Time) erro
 	if vm.Node != nil && vm.Node.BB != to.BB {
 		if err := s.placement.Move(string(vm.ID), string(to.BB.ID)); err != nil {
 			return err
+		}
+		if e, ok := s.byBB[to.BB.ID]; ok {
+			s.moveMirror(string(vm.ID), e)
 		}
 	}
 	return s.fleet.Migrate(vm, to, now)

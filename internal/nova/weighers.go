@@ -125,44 +125,58 @@ func DefaultWeighers() []Weigher {
 	}
 }
 
+// scored pairs a host with its accumulated normalized weight.
+type scored struct {
+	h *HostState
+	w float64
+}
+
+// rankBuf holds the scratch slices rank works in, so a scheduler ranking
+// thousands of requests reuses three buffers instead of allocating per
+// decision. The returned ranking aliases the buffer and is only valid until
+// the next rank call on the same buffer.
+type rankBuf struct {
+	scores []scored
+	raws   []float64
+	out    []*HostState
+}
+
 // rank orders hosts by total normalized weight, descending. Ties break by
 // building block ID for determinism.
-func rank(req *RequestSpec, hosts []*HostState, weighers []Weigher) []*HostState {
+func (b *rankBuf) rank(req *RequestSpec, hosts []*HostState, weighers []Weigher) []*HostState {
 	if len(hosts) == 0 {
 		return nil
 	}
-	type scored struct {
-		h *HostState
-		w float64
-	}
-	scores := make([]scored, len(hosts))
-	for i, h := range hosts {
-		scores[i] = scored{h: h}
+	b.scores = b.scores[:0]
+	for _, h := range hosts {
+		b.scores = append(b.scores, scored{h: h})
 	}
 	for _, w := range weighers {
-		raws := make([]float64, len(hosts))
+		b.raws = b.raws[:0]
 		min, max := 0.0, 0.0
 		for i, h := range hosts {
-			raws[i] = w.Weigh(req, h)
-			if i == 0 || raws[i] < min {
-				min = raws[i]
+			r := w.Weigh(req, h)
+			b.raws = append(b.raws, r)
+			if i == 0 || r < min {
+				min = r
 			}
-			if i == 0 || raws[i] > max {
-				max = raws[i]
+			if i == 0 || r > max {
+				max = r
 			}
 		}
 		span := max - min
 		mult := w.Multiplier(req)
-		for i := range scores {
+		for i := range b.scores {
 			norm := 0.0
 			if span > 0 {
-				norm = (raws[i] - min) / span
+				norm = (b.raws[i] - min) / span
 			}
-			scores[i].w += mult * norm
+			b.scores[i].w += mult * norm
 		}
 	}
 	// Insertion sort keeps the implementation dependency-free and the
 	// candidate lists are short (tens of BBs).
+	scores := b.scores
 	for i := 1; i < len(scores); i++ {
 		for j := i; j > 0; j-- {
 			a, b := scores[j-1], scores[j]
@@ -173,9 +187,15 @@ func rank(req *RequestSpec, hosts []*HostState, weighers []Weigher) []*HostState
 			}
 		}
 	}
-	out := make([]*HostState, len(scores))
-	for i, s := range scores {
-		out[i] = s.h
+	b.out = b.out[:0]
+	for _, s := range scores {
+		b.out = append(b.out, s.h)
 	}
-	return out
+	return b.out
+}
+
+// rank is the buffer-free form, used by tests and one-shot callers.
+func rank(req *RequestSpec, hosts []*HostState, weighers []Weigher) []*HostState {
+	var b rankBuf
+	return b.rank(req, hosts, weighers)
 }

@@ -211,7 +211,8 @@ candidates:
 
 // Claim atomically allocates the request for the consumer on the provider.
 // It fails if capacity was consumed since the candidate query — the race
-// Nova handles with scheduling retries.
+// Nova handles with scheduling retries. The request map is copied into the
+// allocation record, so callers may reuse a scratch map across claims.
 func (s *Service) Claim(consumer, provider string, req Request) error {
 	if len(req) == 0 {
 		return ErrEmptyRequest
@@ -228,10 +229,12 @@ func (s *Service) Claim(consumer, provider string, req Request) error {
 	if !p.fits(req) {
 		return fmt.Errorf("%w: %s on %s", ErrCapacityExceeded, consumer, provider)
 	}
+	stored := make(Request, len(req))
 	for rc, amount := range req {
 		p.used[rc] += amount
+		stored[rc] = amount
 	}
-	s.allocations[consumer] = &Allocation{Consumer: consumer, Provider: provider, Request: req}
+	s.allocations[consumer] = &Allocation{Consumer: consumer, Provider: provider, Request: stored}
 	return nil
 }
 

@@ -7,7 +7,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -62,7 +61,7 @@ type Event struct {
 	seq      uint64
 	fn       Handler
 	canceled bool
-	index    int // heap index, -1 when popped
+	index    int // position in its heap (bucket or overflow), -1 when popped
 	name     string
 }
 
@@ -79,12 +78,12 @@ func (e *Event) Canceled() bool { return e.canceled }
 // has already fired (or was already canceled) is a no-op.
 func (e *Event) Cancel() { e.canceled = true }
 
-// eventQueue is a min-heap ordered by (time, priority, sequence).
+// eventQueue is a min-heap ordered by (time, priority, sequence). The sift
+// operations are hand-rolled (rather than container/heap) so pushes and pops
+// on the timer wheel's hot path avoid interface dispatch.
 type eventQueue []*Event
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
@@ -94,33 +93,181 @@ func (q eventQueue) Less(i, j int) bool {
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) {
+func (q eventQueue) swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
 	q[i].index = i
 	q[j].index = j
 }
 
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
+func (q eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
 }
 
-func (q *eventQueue) Pop() any {
+func (q eventQueue) down(i int) {
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && q.less(r, l) {
+			min = r
+		}
+		if !q.less(min, i) {
+			return
+		}
+		q.swap(i, min)
+		i = min
+	}
+}
+
+func (q *eventQueue) push(e *Event) {
+	e.index = len(*q)
+	*q = append(*q, e)
+	q.up(e.index)
+}
+
+// pop removes and returns the minimum event.
+func (q *eventQueue) pop() *Event {
 	old := *q
 	n := len(old)
-	e := old[n-1]
+	e := old[0]
+	old.swap(0, n-1)
 	old[n-1] = nil
-	e.index = -1
 	*q = old[:n-1]
+	if n > 1 {
+		(*q).down(0)
+	}
+	e.index = -1
 	return e
+}
+
+// Timer-wheel geometry: a 256-slot near wheel at one-minute tick
+// granularity (a ~4.3 h window) in front of an overflow heap. Near events —
+// sampler and rebalancer ticks, imminent arrivals — get O(1) slot selection
+// plus a sift inside a tiny per-slot heap; far events (VM deletions
+// scheduled days ahead) wait in the overflow heap, which stays small and
+// shallow, and migrate into the wheel as the cursor approaches them.
+const (
+	wheelSlotBits = 8
+	wheelSlots    = 1 << wheelSlotBits
+	wheelMask     = wheelSlots - 1
+	wheelTick     = Time(time.Minute)
+)
+
+func slotOf(t Time) int64 { return int64(t / wheelTick) }
+
+// timerWheel is a hierarchical event queue preserving the exact
+// (time, priority, sequence) total order of the flat heap it replaces: the
+// cursor visits slots in time order, each slot is itself ordered by the full
+// comparator, and overflow events always sort after every wheel event.
+type timerWheel struct {
+	cur      int64 // absolute slot index of the cursor (monotone)
+	buckets  [wheelSlots]eventQueue
+	nearN    int // events currently in buckets
+	overflow eventQueue
+}
+
+func (w *timerWheel) len() int { return w.nearN + len(w.overflow) }
+
+// limit is the first instant beyond the wheel's current window.
+func (w *timerWheel) limit() Time { return Time(w.cur+wheelSlots) * wheelTick }
+
+func (w *timerWheel) push(ev *Event) {
+	s := slotOf(ev.at)
+	if s >= w.cur+wheelSlots {
+		w.overflow.push(ev)
+		return
+	}
+	if s < w.cur {
+		// The cursor advanced past this slot while peeking at a future
+		// event (e.g. a horizon stop followed by a near schedule). The
+		// cursor bucket is the next one drained and its heap orders the
+		// event correctly ahead of everything scheduled later.
+		s = w.cur
+	}
+	w.buckets[s&wheelMask].push(ev)
+	w.nearN++
+}
+
+// migrate pulls overflow events that now fall inside the wheel window.
+func (w *timerWheel) migrate() {
+	lim := w.limit()
+	for len(w.overflow) > 0 && w.overflow[0].at < lim {
+		ev := w.overflow.pop()
+		w.buckets[slotOf(ev.at)&wheelMask].push(ev)
+		w.nearN++
+	}
+}
+
+// peek returns the next event without removing it, or nil when empty. It
+// advances the cursor to the next event's slot, which is safe: pushes behind
+// the cursor fall into the cursor bucket (see push) and ordering holds.
+func (w *timerWheel) peek() *Event {
+	for {
+		if w.nearN == 0 {
+			if len(w.overflow) == 0 {
+				return nil
+			}
+			// The wheel is empty: jump straight to the overflow minimum
+			// instead of stepping through empty slots.
+			w.cur = slotOf(w.overflow[0].at)
+			w.migrate()
+			continue
+		}
+		for len(w.buckets[w.cur&wheelMask]) == 0 {
+			w.cur++
+			w.migrate()
+		}
+		return w.buckets[w.cur&wheelMask][0]
+	}
+}
+
+// pop removes and returns the next event, or nil when empty.
+func (w *timerWheel) pop() *Event {
+	if w.peek() == nil {
+		return nil
+	}
+	ev := w.buckets[w.cur&wheelMask].pop()
+	w.nearN--
+	return ev
+}
+
+// eventArena hands out events from chunked backing arrays: one allocation
+// per arenaChunk events instead of one per Schedule. Events are never
+// recycled — a caller may hold a fired event's pointer indefinitely (Cancel
+// after firing is a documented no-op), so reuse would let one caller's
+// Cancel hit an unrelated event. Tickers, whose events never escape the
+// engine, do reuse their event across fires (see Ticker.fire).
+type eventArena struct {
+	chunk []Event
+}
+
+const arenaChunk = 256
+
+func (a *eventArena) alloc() *Event {
+	if len(a.chunk) == 0 {
+		a.chunk = make([]Event, arenaChunk)
+	}
+	ev := &a.chunk[0]
+	a.chunk = a.chunk[1:]
+	return ev
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; call
 // NewEngine.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	wheel   timerWheel
+	arena   eventArena
 	seq     uint64
 	fired   uint64
 	running bool
@@ -162,7 +309,7 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports how many events are waiting in the queue (including
 // canceled ones that have not been popped yet).
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.wheel.len() }
 
 // ErrPast is returned when scheduling an event before the current time.
 var ErrPast = errors.New("sim: cannot schedule event in the past")
@@ -196,10 +343,17 @@ func (e *Engine) schedule(at Time, priority int, name string, fn Handler) (*Even
 	if fn == nil {
 		return nil, errors.New("sim: nil handler")
 	}
-	e.seq++
-	ev := &Event{at: at, priority: priority, seq: e.seq, fn: fn, name: name}
-	heap.Push(&e.queue, ev)
+	ev := e.arena.alloc()
+	e.scheduleInto(ev, at, priority, name, fn)
 	return ev, nil
+}
+
+// scheduleInto (re)initializes ev and enqueues it. The caller must have
+// validated at >= now and fn != nil; ev must not be pending in the wheel.
+func (e *Engine) scheduleInto(ev *Event, at Time, priority int, name string, fn Handler) {
+	e.seq++
+	*ev = Event{at: at, priority: priority, seq: e.seq, fn: fn, name: name, index: -1}
+	e.wheel.push(ev)
 }
 
 // Every schedules fn at start and then repeatedly every interval until the
@@ -209,8 +363,9 @@ func (e *Engine) Every(start, interval Time, fn Handler) (*Ticker, error) {
 		return nil, errors.New("sim: non-positive ticker interval")
 	}
 	t := &Ticker{engine: e, interval: interval, fn: fn}
+	t.fireFn = t.fire // bound once so each tick does not allocate a method value
 	var err error
-	t.next, err = e.Schedule(start, t.fire)
+	t.next, err = e.Schedule(start, t.fireFn)
 	if err != nil {
 		return nil, err
 	}
@@ -222,6 +377,7 @@ type Ticker struct {
 	engine   *Engine
 	interval Time
 	fn       Handler
+	fireFn   Handler
 	next     *Event
 	stopped  bool
 }
@@ -234,14 +390,18 @@ func (t *Ticker) fire(now Time) {
 	if t.stopped { // fn may call Stop
 		return
 	}
+	// The ticker's event never escapes the engine, so the tick that just
+	// fired is reused for the next one instead of allocating a fresh event.
 	// Rescheduling cannot fail today (now+interval > now), but injectors
 	// that reschedule near the horizon would silently lose ticks if a
 	// failure were dropped — surface it through the engine's error hook.
-	var err error
-	t.next, err = t.engine.Schedule(now+t.interval, t.fire)
-	if err != nil {
+	at := now + t.interval
+	if at < t.engine.now {
+		err := fmt.Errorf("%w: at=%v now=%v", ErrPast, at, t.engine.now)
 		t.engine.noteError(fmt.Errorf("sim: ticker reschedule at %v: %w", now, err))
+		return
 	}
+	t.engine.scheduleInto(t.next, at, 0, "", t.fireFn)
 }
 
 // Stop prevents future ticks. It is safe to call from within the tick
@@ -278,18 +438,21 @@ func (e *Engine) RunInterruptible(horizon Time, check func() error) error {
 	e.horizon = horizon
 	defer func() { e.running = false }()
 
-	for len(e.queue) > 0 {
+	for {
+		ev := e.wheel.peek()
+		if ev == nil {
+			break
+		}
 		if check != nil {
 			if err := check(); err != nil {
 				return err
 			}
 		}
-		ev := e.queue[0]
 		if ev.at > horizon {
 			e.now = horizon
 			return e.takeErrs()
 		}
-		heap.Pop(&e.queue)
+		e.wheel.pop()
 		if ev.canceled {
 			continue
 		}
@@ -314,8 +477,11 @@ func (e *Engine) takeErrs() error {
 // Step executes exactly one (non-canceled) event, if any, and reports
 // whether an event ran. Useful in tests.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
+	for {
+		ev := e.wheel.pop()
+		if ev == nil {
+			return false
+		}
 		if ev.canceled {
 			continue
 		}
@@ -324,5 +490,4 @@ func (e *Engine) Step() bool {
 		ev.fn(ev.at)
 		return true
 	}
-	return false
 }

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestWheelMatchesHeapOrder drives the timer wheel and a flat reference heap
+// through identical randomized workloads — mixed near/far pushes, pops,
+// cursor-advancing peeks followed by behind-cursor pushes — and asserts both
+// pop the exact same (time, priority, seq) sequence. This is the ordering
+// contract the engine's determinism (and the golden digests) rest on.
+func TestWheelMatchesHeapOrder(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var w timerWheel
+		var ref eventQueue
+		var seq uint64
+		now := Time(0) // engine invariant: pushes never go before the clock
+
+		push := func(at Time, pri int) {
+			seq++
+			w.push(&Event{at: at, priority: pri, seq: seq, index: -1})
+			ref.push(&Event{at: at, priority: pri, seq: seq, index: -1})
+		}
+		popBoth := func() {
+			got, want := w.pop(), ref.pop()
+			if got.at != want.at || got.priority != want.priority || got.seq != want.seq {
+				t.Fatalf("seed %d: wheel popped (%v,%d,%d), heap popped (%v,%d,%d)",
+					seed, got.at, got.priority, got.seq, want.at, want.priority, want.seq)
+			}
+			if got.at > now {
+				now = got.at
+			}
+		}
+		randomAt := func() Time {
+			switch rng.Intn(3) {
+			case 0: // same-slot and sub-tick offsets
+				return now + Time(rng.Int63n(int64(2*Minute)))
+			case 1: // inside the wheel window
+				return now + Time(rng.Int63n(int64(4*Hour)))
+			default: // overflow territory
+				return now + Time(rng.Int63n(int64(10*Day)))
+			}
+		}
+
+		for op := 0; op < 4000; op++ {
+			switch {
+			case w.len() == 0 || rng.Intn(100) < 55:
+				push(randomAt(), rng.Intn(5)-2)
+			case rng.Intn(100) < 10:
+				// A horizon stop: peek advances the cursor without popping,
+				// then the next pushes may land behind it.
+				if pw, ph := w.peek(), ref[0]; pw.seq != ph.seq {
+					t.Fatalf("seed %d: wheel peeked seq %d, heap seq %d", seed, pw.seq, ph.seq)
+				}
+			default:
+				popBoth()
+			}
+		}
+		for w.len() > 0 {
+			popBoth()
+		}
+		if len(ref) != 0 {
+			t.Fatalf("seed %d: wheel drained with %d events left in reference heap", seed, len(ref))
+		}
+	}
+}
+
+// TestScheduleAllocs pins the arena behavior: scheduling amortizes to one
+// chunk allocation per arenaChunk events rather than one *Event per call.
+func TestScheduleAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func(Time) {}
+	at := Time(0)
+	avg := testing.AllocsPerRun(1000, func() {
+		at += Second
+		if _, err := e.Schedule(at, fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 2.0/arenaChunk {
+		t.Errorf("Schedule allocates %.4f objects/op, want <= %.4f (arena-amortized)",
+			avg, 2.0/arenaChunk)
+	}
+}
+
+// TestTickerFireAllocs pins the ticker's event reuse: steady-state ticking
+// must not allocate at all.
+func TestTickerFireAllocs(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	if _, err := e.Every(0, Minute, func(Time) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	// Warm up past one full wheel rotation (256 minutes) so every bucket's
+	// backing slice exists; steady state after that reuses them all.
+	horizon := 5 * Hour
+	if err := e.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		horizon += Hour
+		if err := e.Run(horizon); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Errorf("ticker run allocates %.2f objects per hour of ticks, want 0", avg)
+	}
+	if n == 0 {
+		t.Fatal("ticker never fired")
+	}
+}

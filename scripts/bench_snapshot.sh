@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# bench_snapshot.sh — capture and compare the repo's benchmark trajectory.
+#
+# The ROADMAP mandates a BENCH_*.json perf trajectory: one committed snapshot
+# per PR so speedups and regressions stay visible across re-anchors. This
+# script runs the in-tree bench suites (sim, nova, telemetry, promql,
+# scenario, and the root figure/table + end-to-end cell benches) with
+# -benchmem and serializes (ns/op, B/op, allocs/op) per benchmark.
+#
+# Usage:
+#   scripts/bench_snapshot.sh snapshot [-o FILE] [-quick] [-full]
+#       Run the suites and write a snapshot JSON (default: bench_snapshot.json).
+#       -quick runs a reduced hot-path subset (CI smoke); -full additionally
+#       runs the domain-metric ablation benches (slow, not part of the
+#       perf trajectory by default).
+#   scripts/bench_snapshot.sh merge BEFORE.json AFTER.json
+#       Emit a committed trajectory point {pr, baseline, current} on stdout.
+#   scripts/bench_snapshot.sh compare BENCH_FILE.json
+#       Re-run the quick subset and warn (never fail) when a benchmark's
+#       ns/op regressed >20% against the file's current (or plain) snapshot.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+command -v jq >/dev/null || { echo "bench_snapshot.sh: jq is required" >&2; exit 1; }
+
+REGRESSION_PCT=20
+
+# run_suite PKG BENCH_REGEX BENCHTIME OUT_TSV — append parsed results.
+run_suite() {
+	local pkg=$1 re=$2 bt=$3 out=$4
+	echo ">> bench $pkg -bench '$re' -benchtime $bt" >&2
+	go test -run '^$' -bench "$re" -benchmem -benchtime "$bt" "$pkg" |
+		awk -v pkg="$pkg" '
+		/^Benchmark/ {
+			name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+			ns = ""; bop = ""; aop = ""
+			for (i = 3; i < NF; i++) {
+				if ($(i+1) == "ns/op")     ns  = $i
+				if ($(i+1) == "B/op")      bop = $i
+				if ($(i+1) == "allocs/op") aop = $i
+			}
+			if (ns != "") printf "%s\t%s\t%s\t%s\t%s\t%s\n", pkg, name, ns, bop, aop, $2
+		}' >>"$out"
+}
+
+# tsv_to_json OUT_TSV — snapshot object on stdout.
+tsv_to_json() {
+	jq -Rn --arg go "$(go env GOVERSION)" --arg host "$(uname -sm)" \
+		--arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+		{go: $go, host: $host, date: $date,
+		 benchmarks: [inputs | split("\t") |
+			{package: .[0], name: .[1],
+			 ns_per_op: (.[2] | tonumber),
+			 b_per_op: (.[3] | if . == "" then null else tonumber end),
+			 allocs_per_op: (.[4] | if . == "" then null else tonumber end),
+			 iterations: (.[5] | tonumber)}]}' <"$1"
+}
+
+snapshot() {
+	local out="bench_snapshot.json" quick=0 full=0
+	while [ $# -gt 0 ]; do
+		case "$1" in
+		-o) out=$2; shift 2 ;;
+		-quick) quick=1; shift ;;
+		-full) full=1; shift ;;
+		*) echo "unknown snapshot flag: $1" >&2; exit 2 ;;
+		esac
+	done
+	local tsv; tsv=$(mktemp)
+	if [ "$quick" = 1 ]; then
+		run_suite ./internal/sim . 200ms "$tsv"
+		run_suite ./internal/nova . 200ms "$tsv"
+		run_suite . 'BenchmarkFullCell$' 3x "$tsv"
+	else
+		run_suite ./internal/sim . 1s "$tsv"
+		run_suite ./internal/nova . 1s "$tsv"
+		run_suite ./internal/telemetry . 1s "$tsv"
+		run_suite ./internal/promql . 1s "$tsv"
+		run_suite ./internal/scenario 'BenchmarkSweep$' 3x "$tsv"
+		run_suite . 'BenchmarkFigure|BenchmarkTable' 3x "$tsv"
+		run_suite . 'BenchmarkFullCell$' 5x "$tsv"
+		if [ "$full" = 1 ]; then
+			run_suite . 'BenchmarkAblation' 1x "$tsv"
+		fi
+	fi
+	tsv_to_json "$tsv" >"$out"
+	rm -f "$tsv"
+	echo "wrote $out ($(jq '.benchmarks | length' "$out") benchmarks)" >&2
+}
+
+merge() {
+	[ $# -eq 2 ] || { echo "usage: bench_snapshot.sh merge BEFORE.json AFTER.json" >&2; exit 2; }
+	jq -n --slurpfile before "$1" --slurpfile after "$2" \
+		'{pr: "PR6", regression_warn_pct: 20, baseline: $before[0], current: $after[0]}'
+}
+
+compare() {
+	[ $# -eq 1 ] || { echo "usage: bench_snapshot.sh compare BENCH_FILE.json" >&2; exit 2; }
+	local committed=$1 tmp
+	tmp=$(mktemp -d)
+	snapshot -o "$tmp/now.json" -quick
+	# Accept either a plain snapshot or a {baseline, current} trajectory point.
+	jq 'if has("current") then .current else . end' "$committed" >"$tmp/ref.json"
+	jq -r --slurpfile ref "$tmp/ref.json" --argjson thr "$REGRESSION_PCT" '
+		($ref[0].benchmarks | map({key: (.package + " " + .name), value: .ns_per_op}) | from_entries) as $base |
+		.benchmarks[] | (.package + " " + .name) as $k |
+		select($base[$k] != null and $base[$k] > 0) |
+		(100 * (.ns_per_op / $base[$k] - 1)) as $delta |
+		select($delta > $thr) |
+		"::warning::benchmark regression: \($k) \($base[$k]) -> \(.ns_per_op) ns/op (+\($delta | floor)%)"
+	' "$tmp/now.json" | tee "$tmp/warnings.txt"
+	local n
+	n=$(wc -l <"$tmp/warnings.txt")
+	if [ "$n" -gt 0 ]; then
+		echo "bench compare: $n benchmark(s) regressed >${REGRESSION_PCT}% ns/op vs $committed (warning only)" >&2
+	else
+		echo "bench compare: no ns/op regression >${REGRESSION_PCT}% vs $committed" >&2
+	fi
+	rm -rf "$tmp"
+}
+
+case "${1:-}" in
+snapshot) shift; snapshot "$@" ;;
+merge) shift; merge "$@" ;;
+compare) shift; compare "$@" ;;
+*) echo "usage: bench_snapshot.sh {snapshot|merge|compare} ..." >&2; exit 2 ;;
+esac
