@@ -5,6 +5,12 @@
 // Usage:
 //
 //	analyze -i dataset.csv [-days N] [-fig fig9]
+//	analyze -scrape URL[,URL...] -query EXPR
+//
+// With -scrape, analyze pulls live Prometheus exposition endpoints (a
+// dispatchd's and any simworker -metrics listeners) into a fresh telemetry
+// store instead of loading a CSV, and answers -query against the fleet's
+// current state — e.g. `sum(dispatch_queue_jobs)` mid-sweep.
 package main
 
 import (
@@ -12,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"sapsim/internal/analysis"
@@ -21,18 +28,20 @@ import (
 	"sapsim/internal/forecast"
 	"sapsim/internal/promql"
 	"sapsim/internal/report"
+	"sapsim/internal/scrape"
 	"sapsim/internal/sim"
 	"sapsim/internal/telemetry"
 )
 
 func main() {
 	var (
-		in    = flag.String("i", "dataset.csv", "input dataset CSV")
-		days  = flag.Int("days", 30, "observation window in days")
-		fig   = flag.String("fig", "all", "figure to compute: fig5, fig8, fig9, fig10, fig13, fig14a, fig14b, or all")
+		in      = flag.String("i", "dataset.csv", "input dataset CSV")
+		days    = flag.Int("days", 30, "observation window in days")
+		fig     = flag.String("fig", "all", "figure to compute: fig5, fig8, fig9, fig10, fig13, fig14a, fig14b, or all")
 		query   = flag.String("query", "", "PromQL expression to evaluate instead of figures")
 		at      = flag.Float64("at", -1, "query evaluation time in seconds since epoch (default: end of window)")
 		oc      = flag.Bool("recommend-overcommit", false, "derive a workload-based vCPU:pCPU overcommit factor (Sec. 7 guidance)")
+		scrapes = flag.String("scrape", "", "comma-separated /metrics URLs to scrape into the store instead of reading -i")
 		timeout = flag.Duration("timeout", 0, "wall-clock limit for load + analysis (0 = none)")
 	)
 	flag.Parse()
@@ -45,20 +54,44 @@ func main() {
 		})
 	}
 
-	f, err := os.Open(*in)
-	if err != nil {
-		fatal(err)
+	var store *telemetry.Store
+	if *scrapes != "" {
+		// Live fleet mode: every endpoint's samples land at t=0, so
+		// queries default to evaluating there — a point-in-time snapshot
+		// of fleet health, not a time series.
+		store = telemetry.NewStore()
+		sc := &scrape.Scraper{Store: store}
+		for _, url := range strings.Split(*scrapes, ",") {
+			url = strings.TrimSpace(url)
+			if url == "" {
+				continue
+			}
+			n, err := sc.ScrapeTarget(url, 0)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("scraped %s: %d samples\n", url, n)
+		}
+		fmt.Println()
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		store, err = dataset.Read(bufio.NewReaderSize(f, 1<<20))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %s: %d series, %d samples\n\n", *in, store.SeriesCount(), store.SampleCount())
 	}
-	defer f.Close()
-	store, err := dataset.Read(bufio.NewReaderSize(f, 1<<20))
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("loaded %s: %d series, %d samples\n\n", *in, store.SeriesCount(), store.SampleCount())
 
 	if *query != "" {
 		engine := &promql.Engine{Store: store}
 		evalAt := sim.Time(*days) * sim.Day
+		if *scrapes != "" {
+			evalAt = 0
+		}
 		if *at >= 0 {
 			evalAt = sim.Time(*at * float64(sim.Second))
 		}

@@ -35,6 +35,7 @@ import (
 	"sapsim/internal/artifact"
 	"sapsim/internal/core"
 	"sapsim/internal/dispatch"
+	"sapsim/internal/fleetmetrics"
 	"sapsim/internal/scenario"
 	"sapsim/internal/sim"
 )
@@ -102,6 +103,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+	d.Instrument(fleetmetrics.NewRegistry())
 	bound, err := d.Serve(ctx, *addr)
 	if err != nil {
 		fatal(err)
@@ -110,6 +112,7 @@ func main() {
 	fmt.Printf("dispatchd: serving %d cells at %s (journal %s)\n",
 		total, bound, filepath.Join(*dir, dispatch.JournalName))
 	fmt.Printf("dispatchd: browsable report bundle at http://%s/bundle\n", bound)
+	fmt.Printf("dispatchd: fleet metrics at http://%s/metrics\n", bound)
 
 	res, err := d.WaitDrained(ctx, 0)
 	if err != nil {

@@ -15,7 +15,12 @@
 // Usage:
 //
 //	simworker -dispatcher http://host:9090 [-id NAME] [-jobs N] \
-//	          [-heartbeat D] [-poll D] [-timeout D] [-quiet]
+//	          [-heartbeat D] [-poll D] [-timeout D] [-metrics ADDR] [-quiet]
+//
+// -metrics starts an HTTP listener serving the worker's fleet metrics
+// (in-flight vs capacity, per-cell wall time, heartbeat RTT, upload dedup)
+// in Prometheus exposition format at GET /metrics, scrapeable by the
+// in-tree scrape/promql stack alongside the dispatcher's endpoint.
 //
 // The worker exits 0 once the dispatcher reports the sweep drained.
 package main
@@ -25,12 +30,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"sapsim/internal/dispatch"
+	"sapsim/internal/fleetmetrics"
 )
 
 func main() {
@@ -41,6 +49,7 @@ func main() {
 		heartbeat  = flag.Duration("heartbeat", 2*time.Second, "heartbeat cadence (must be well under the dispatcher lease)")
 		poll       = flag.Duration("poll", 500*time.Millisecond, "idle re-poll interval when no cell is free")
 		timeout    = flag.Duration("timeout", 0, "wall-clock limit (0 = run until drained)")
+		metrics    = flag.String("metrics", "", "serve Prometheus metrics at this address (e.g. 127.0.0.1:9191; empty = off)")
 		quiet      = flag.Bool("quiet", false, "suppress per-cell progress lines")
 	)
 	flag.Parse()
@@ -68,6 +77,21 @@ func main() {
 		w.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+	if *metrics != "" {
+		reg := fleetmetrics.NewRegistry()
+		w.Metrics = reg
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simworker: metrics listener:", err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.Handler())
+		srv := &http.Server{Handler: mux}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "simworker: fleet metrics at http://%s/metrics\n", ln.Addr())
 	}
 	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "simworker:", err)

@@ -26,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 )
 
 // DirName is the conventional store subdirectory inside a sweep (journal)
@@ -93,6 +94,50 @@ type Store struct {
 	// noSync skips per-blob fsyncs (scratch stores whose contents never
 	// outlive the process).
 	noSync bool
+
+	stats storeStats
+}
+
+// storeStats are the store's self-maintained observability counters.
+// They live on the store (not in a metrics registry) so counts from work
+// done before a daemon instruments the store — the Resume-time audit,
+// heal, and GC — are not lost; fleet metrics export them via CounterFunc/
+// GaugeFunc reads of Stats().
+type storeStats struct {
+	blobs, bytes                int64 // current contents
+	putStored, putDedup         int64
+	removed, removeFailures     int64
+	gcRemoved, gcRemoveFailures int64
+}
+
+// Stats is a point-in-time snapshot of the store's observability counters.
+type Stats struct {
+	// Blobs and Bytes describe the store's current contents.
+	Blobs, Bytes int64
+	// PutStored counts new blobs written; PutDedup counts Puts that were
+	// write-once no-ops (the digest was already held) — the store-side
+	// half of the dedup hit rate.
+	PutStored, PutDedup int64
+	// Removed counts blobs deleted (heals and GC); RemoveFailures counts
+	// removals that failed — a damaged blob the store could NOT heal, so a
+	// re-upload of that digest would be deduplicated against the bad file.
+	Removed, RemoveFailures int64
+	// GCRemoved / GCRemoveFailures break out the removals driven by GC.
+	GCRemoved, GCRemoveFailures int64
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Blobs:            atomic.LoadInt64(&s.stats.blobs),
+		Bytes:            atomic.LoadInt64(&s.stats.bytes),
+		PutStored:        atomic.LoadInt64(&s.stats.putStored),
+		PutDedup:         atomic.LoadInt64(&s.stats.putDedup),
+		Removed:          atomic.LoadInt64(&s.stats.removed),
+		RemoveFailures:   atomic.LoadInt64(&s.stats.removeFailures),
+		GCRemoved:        atomic.LoadInt64(&s.stats.gcRemoved),
+		GCRemoveFailures: atomic.LoadInt64(&s.stats.gcRemoveFailures),
+	}
 }
 
 // Open creates (or reopens) a store rooted at dir. Every Put is fsynced —
@@ -101,7 +146,23 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("artifact: store dir: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir}
+	// Seed the contents counters from what a reopened store already holds,
+	// so the blob/byte gauges are right from the first scrape.
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || validDigest(d.Name()) != nil {
+			return err
+		}
+		if info, ierr := d.Info(); ierr == nil {
+			s.stats.blobs++
+			s.stats.bytes += info.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("artifact: scanning store: %w", err)
+	}
+	return s, nil
 }
 
 // OpenScratch opens a store that skips per-blob fsyncs. For ephemeral
@@ -157,6 +218,7 @@ func (s *Store) Put(digest string, body []byte) (bool, error) {
 	defer s.mu.Unlock()
 	path := s.blobPath(digest)
 	if _, err := os.Stat(path); err == nil {
+		atomic.AddInt64(&s.stats.putDedup, 1)
 		return false, nil // write-once: already stored
 	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -190,6 +252,9 @@ func (s *Store) Put(digest string, body []byte) (bool, error) {
 			d.Close()
 		}
 	}
+	atomic.AddInt64(&s.stats.putStored, 1)
+	atomic.AddInt64(&s.stats.blobs, 1)
+	atomic.AddInt64(&s.stats.bytes, int64(len(body)))
 	return true, nil
 }
 
@@ -260,15 +325,30 @@ func (s *Store) Verify(digest string, size int64) error {
 
 // Remove deletes one blob (a verification failure being healed: the bad
 // file must go so a re-upload of the same digest is not deduplicated away).
+// Failures are counted in Stats — a removal that fails leaves a damaged
+// blob in place that will shadow any re-upload, which is exactly the
+// condition fleet metrics must make visible.
 func (s *Store) Remove(digest string) error {
 	if err := validDigest(digest); err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := os.Remove(s.blobPath(digest)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+	path := s.blobPath(digest)
+	var size int64
+	if st, err := os.Stat(path); err == nil {
+		size = st.Size()
+	}
+	if err := os.Remove(path); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		atomic.AddInt64(&s.stats.removeFailures, 1)
 		return fmt.Errorf("artifact: removing blob %s: %w", digest, err)
 	}
+	atomic.AddInt64(&s.stats.removed, 1)
+	atomic.AddInt64(&s.stats.blobs, -1)
+	atomic.AddInt64(&s.stats.bytes, -size)
 	return nil
 }
 
@@ -304,20 +384,29 @@ func (s *Store) Len() (int, error) {
 // it. Blobs uploaded for cells that never durably completed (or were
 // re-queued) are the orphans this collects; a re-run re-uploads the same
 // bytes under the same digest. Returns the number of blobs removed.
+//
+// A removal failure does not abort the pass: the remaining orphans are
+// still collected, the failures are counted in Stats, and the joined
+// errors come back so the caller can report (rather than silently drop)
+// the orphans left behind.
 func (s *Store) GC(refs map[string]int) (int, error) {
 	digests, err := s.Digests()
 	if err != nil {
 		return 0, err
 	}
 	removed := 0
+	var errs []error
 	for _, d := range digests {
 		if refs[d] > 0 {
 			continue
 		}
 		if err := s.Remove(d); err != nil {
-			return removed, err
+			atomic.AddInt64(&s.stats.gcRemoveFailures, 1)
+			errs = append(errs, err)
+			continue
 		}
+		atomic.AddInt64(&s.stats.gcRemoved, 1)
 		removed++
 	}
-	return removed, nil
+	return removed, errors.Join(errs...)
 }

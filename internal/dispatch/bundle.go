@@ -26,8 +26,14 @@ func (d *Dispatcher) handleArtifactHead(w http.ResponseWriter, r *http.Request) 
 	// store at rest.
 	size, err := d.queue.Store().Stat(r.PathValue("digest"))
 	if err != nil {
+		if d.headMisses != nil {
+			d.headMisses.Inc()
+		}
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
+	}
+	if d.headHits != nil {
+		d.headHits.Inc()
 	}
 	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
 	w.WriteHeader(http.StatusOK)

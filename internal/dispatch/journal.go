@@ -59,6 +59,10 @@ const (
 // queue holds its mutex across appends).
 type journalWriter struct {
 	f *os.File
+	// observeAppend / countFsync, when set (Queue.Instrument), receive
+	// each append's latency and each durable fsync.
+	observeAppend func(time.Duration)
+	countFsync    func()
 }
 
 func createJournal(dir string, spec Spec) (*journalWriter, error) {
@@ -110,8 +114,15 @@ func (w *journalWriter) append(rec journalRecord) error {
 		return fmt.Errorf("dispatch: journal encode: %w", err)
 	}
 	data = append(data, '\n')
+	start := time.Time{}
+	if w.observeAppend != nil {
+		start = time.Now()
+	}
 	if _, err := w.f.Write(data); err != nil {
 		return fmt.Errorf("dispatch: journal append: %w", err)
+	}
+	if w.observeAppend != nil {
+		w.observeAppend(time.Since(start))
 	}
 	return nil
 }
@@ -122,7 +133,13 @@ func (w *journalWriter) appendDurable(rec journalRecord) error {
 	if err := w.append(rec); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if w.countFsync != nil {
+		w.countFsync()
+	}
+	return nil
 }
 
 func (w *journalWriter) close() error {

@@ -87,6 +87,9 @@ type Queue struct {
 
 	// recovered describes what Resume found (torn tail, skipped lines).
 	recovered string
+
+	// metrics, when set via Instrument, receives every queue transition.
+	metrics *queueMetrics
 }
 
 // NewQueue expands the spec into per-cell jobs and creates the sweep
@@ -220,6 +223,16 @@ func Resume(dir string, opts QueueOptions) (*Queue, error) {
 	// re-produces identical bodies.
 	badBlobs := map[string]int{}
 	verified := map[string]error{}
+	// A heal that cannot remove its damaged blob is worse than no heal:
+	// the bad file shadows the re-upload the re-queued cell will attempt,
+	// so the failure must be surfaced (Recovered, logs, and the store's
+	// remove-failure counter), never swallowed.
+	removeFailed := 0
+	heal := func(digest string) {
+		if rerr := store.Remove(digest); rerr != nil {
+			removeFailed++
+		}
+	}
 	verify := func(digest string) error {
 		verr, seen := verified[digest]
 		if seen {
@@ -237,13 +250,13 @@ func Resume(dir string, opts QueueOptions) (*Queue, error) {
 			badBlobs["missing"]++
 		case errors.Is(verr, artifact.ErrTruncated):
 			badBlobs["truncated"]++
-			_ = store.Remove(digest)
+			heal(digest)
 		case errors.Is(verr, artifact.ErrCorrupt):
 			badBlobs["corrupt"]++
-			_ = store.Remove(digest)
+			heal(digest)
 		default:
 			badBlobs["unreadable"]++
-			_ = store.Remove(digest)
+			heal(digest)
 		}
 		return verr
 	}
@@ -279,10 +292,9 @@ func Resume(dir string, opts QueueOptions) (*Queue, error) {
 			refs[digest]++
 		}
 	}
-	orphans, err := store.GC(refs)
-	if err != nil {
-		return nil, err
-	}
+	// GC failures must not abort the resume — the sweep is still correct
+	// with orphans on disk; they are surfaced in Recovered instead.
+	orphans, gcErr := store.GC(refs)
 	w, err := openJournalForAppend(path)
 	if err != nil {
 		return nil, err
@@ -313,11 +325,17 @@ func Resume(dir string, opts QueueOptions) (*Queue, error) {
 			q.recovered += fmt.Sprintf(", %d %s blobs", n, kind)
 		}
 	}
+	if removeFailed > 0 {
+		q.recovered += fmt.Sprintf(", %d damaged blobs could NOT be removed (they shadow re-uploads)", removeFailed)
+	}
 	if len(auditRequeued) > 0 {
 		q.recovered += fmt.Sprintf(", %d cells requeued for artifact re-upload", len(auditRequeued))
 	}
 	if orphans > 0 {
 		q.recovered += fmt.Sprintf(", %d orphan blobs collected", orphans)
+	}
+	if gcErr != nil {
+		q.recovered += fmt.Sprintf(", GC incomplete: %v", gcErr)
 	}
 	return q, nil
 }
@@ -372,6 +390,11 @@ func (q *Queue) reapLocked(now time.Time) {
 					"dispatch: abandoned after %d expired leases (last worker %s)", j.Attempt, j.Worker)}
 				if err := q.appendResultLocked(j); err != nil {
 					j.State, j.Run = prevState, nil
+					continue
+				}
+				if q.metrics != nil {
+					q.metrics.attemptsExhaust.Inc()
+					q.metrics.jobAttempts.Observe(float64(j.Attempt))
 				}
 				continue
 			}
@@ -379,6 +402,10 @@ func (q *Queue) reapLocked(now time.Time) {
 			j.Worker = ""
 			if err := q.appendStateLocked(j); err != nil {
 				j.State, j.Worker = prevState, prevWorker
+				continue
+			}
+			if q.metrics != nil {
+				q.metrics.leaseExpiries.Inc()
 			}
 		}
 	}
@@ -438,6 +465,12 @@ func (q *Queue) Book(worker string, capacity int) (*Job, bool, error) {
 				j.Attempt--
 				return nil, false, err
 			}
+			if q.metrics != nil {
+				q.metrics.books.Inc()
+				if j.Attempt > 1 {
+					q.metrics.rebooks.Inc()
+				}
+			}
 			cp := *j
 			return &cp, false, nil
 		default:
@@ -469,6 +502,9 @@ func (q *Queue) Progress(jobID int, worker string, attempt int, ckpt *Checkpoint
 		}
 	}
 	j.Lease = now.Add(q.opts.Lease)
+	if q.metrics != nil {
+		q.metrics.progress.Inc()
+	}
 	if j.State == JobBooked {
 		j.State = JobRunning
 		if err := q.appendStateLocked(j); err != nil {
@@ -523,7 +559,18 @@ func (q *Queue) Complete(jobID int, worker string, attempt int, run RunResult) e
 	} else {
 		j.State = JobDone
 	}
-	return q.appendResultLocked(j)
+	if err := q.appendResultLocked(j); err != nil {
+		return err
+	}
+	if q.metrics != nil {
+		if run.Err != "" {
+			q.metrics.completesFailed.Inc()
+		} else {
+			q.metrics.completesDone.Inc()
+		}
+		q.metrics.jobAttempts.Observe(float64(j.Attempt))
+	}
+	return nil
 }
 
 // Release returns a held cell to the queue before its lease expires — a
@@ -556,6 +603,10 @@ func (q *Queue) Release(jobID int, worker string, attempt int, reason string) er
 			j.State, j.Run = prevState, nil
 			return err
 		}
+		if q.metrics != nil {
+			q.metrics.attemptsExhaust.Inc()
+			q.metrics.jobAttempts.Observe(float64(j.Attempt))
+		}
 		return nil
 	}
 	j.State = JobQueued
@@ -563,6 +614,9 @@ func (q *Queue) Release(jobID int, worker string, attempt int, reason string) er
 	if err := q.appendStateLocked(j); err != nil {
 		j.State, j.Worker = prevState, prevWorker
 		return err
+	}
+	if q.metrics != nil {
+		q.metrics.releases.Inc()
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"time"
 
+	"sapsim/internal/fleetmetrics"
 	"sapsim/internal/scenario"
 )
 
@@ -96,11 +97,32 @@ type Dispatcher struct {
 	serveErr chan error
 	// Logf, when set, receives one line per queue transition.
 	Logf func(format string, args ...any)
+
+	// registry, when set via Instrument, is served at GET /metrics.
+	registry     *fleetmetrics.Registry
+	encodeErrors *fleetmetrics.Counter
+	headHits     *fleetmetrics.Counter
+	headMisses   *fleetmetrics.Counter
 }
 
 // NewDispatcher wraps a queue.
 func NewDispatcher(q *Queue) *Dispatcher {
 	return &Dispatcher{queue: q}
+}
+
+// Instrument registers the dispatcher's fleet metrics — the queue's (and
+// its journal's and artifact store's) instruments plus the wire-level
+// counters — and arranges for Handler to serve the registry at
+// GET /metrics. Call before Handler/Serve.
+func (d *Dispatcher) Instrument(reg *fleetmetrics.Registry) {
+	d.queue.Instrument(reg)
+	d.registry = reg
+	d.encodeErrors = reg.Counter(MetricEncodeErrors,
+		"JSON responses that failed to encode or send")
+	d.headHits = reg.Counter(MetricArtifactHeads,
+		"HEAD /artifact probes", "outcome", "hit")
+	d.headMisses = reg.Counter(MetricArtifactHeads,
+		"HEAD /artifact probes", "outcome", "miss")
 }
 
 // Queue returns the dispatcher's queue.
@@ -131,6 +153,9 @@ func (d *Dispatcher) Handler() http.Handler {
 	mux.HandleFunc("GET /bundle/scenario/{name}", d.handleBundleScenario)
 	mux.HandleFunc("GET /bundle/cell/{scenario}/{variant}/{seed}", d.handleBundleCell)
 	mux.HandleFunc("GET /bundle/cell/{scenario}/{variant}/{seed}/{id}", d.handleBundleArtifact)
+	if d.registry != nil {
+		mux.Handle("GET /metrics", d.registry.Handler())
+	}
 	return mux
 }
 
@@ -146,9 +171,19 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSON encodes a response body. An encode failure after the 200
+// header is already on the wire cannot be turned into an error status, but
+// it must not vanish either: the worker on the other end sees a truncated
+// body and retries, and without the log line and counter the dispatcher
+// side of that conversation is invisible.
+func (d *Dispatcher) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		d.logf("dispatch: encoding response: %v", err)
+		if d.encodeErrors != nil {
+			d.encodeErrors.Inc()
+		}
+	}
 }
 
 func (d *Dispatcher) handleBook(w http.ResponseWriter, r *http.Request) {
@@ -168,7 +203,7 @@ func (d *Dispatcher) handleBook(w http.ResponseWriter, r *http.Request) {
 		d.logf("dispatch: job %d (%s/%s seed %d) booked by %s (attempt %d)",
 			job.ID, job.Key.Scenario, job.Key.Variant, job.Key.Seed, req.Worker, job.Attempt)
 		spec := d.queue.Spec()
-		writeJSON(w, BookResponse{
+		d.writeJSON(w, BookResponse{
 			Job:             job.ID,
 			Key:             bookKey{Scenario: job.Key.Scenario, Variant: job.Key.Variant, Seed: job.Key.Seed},
 			Attempt:         job.Attempt,
@@ -191,7 +226,7 @@ func (d *Dispatcher) handleProgress(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	writeJSON(w, struct{ OK bool }{true})
+	d.writeJSON(w, struct{ OK bool }{true})
 }
 
 func (d *Dispatcher) handleComplete(w http.ResponseWriter, r *http.Request) {
@@ -215,7 +250,7 @@ func (d *Dispatcher) handleComplete(w http.ResponseWriter, r *http.Request) {
 		outcome = "failed: " + req.Run.Err
 	}
 	d.logf("dispatch: job %d completed by %s: %s", req.Job, req.Worker, outcome)
-	writeJSON(w, struct{ OK bool }{true})
+	d.writeJSON(w, struct{ OK bool }{true})
 }
 
 func (d *Dispatcher) handleRelease(w http.ResponseWriter, r *http.Request) {
@@ -232,7 +267,7 @@ func (d *Dispatcher) handleRelease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	d.logf("dispatch: job %d released by %s", req.Job, req.Worker)
-	writeJSON(w, struct{ OK bool }{true})
+	d.writeJSON(w, struct{ OK bool }{true})
 }
 
 func (d *Dispatcher) handleState(w http.ResponseWriter, r *http.Request) {
@@ -243,7 +278,7 @@ func (d *Dispatcher) handleState(w http.ResponseWriter, r *http.Request) {
 			drained++
 		}
 	}
-	writeJSON(w, StateResponse{
+	d.writeJSON(w, StateResponse{
 		Spec: d.queue.Spec(), Jobs: jobs,
 		Done: drained == len(jobs), Drained: drained, Total: len(jobs),
 	})
@@ -259,7 +294,7 @@ func (d *Dispatcher) handleResult(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	writeJSON(w, res)
+	d.writeJSON(w, res)
 }
 
 // Serve listens on addr and serves the protocol until Shutdown (or ctx

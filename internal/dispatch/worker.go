@@ -3,10 +3,12 @@ package dispatch
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -15,6 +17,7 @@ import (
 
 	"sapsim"
 	"sapsim/internal/artifact"
+	"sapsim/internal/fleetmetrics"
 	"sapsim/internal/scenario"
 	"sapsim/internal/sim"
 )
@@ -58,8 +61,14 @@ type Worker struct {
 	// lease must comfortably exceed it).
 	HeartbeatEvery time.Duration
 	// Poll is the idle re-poll interval when no cell is free (default
-	// 500ms).
+	// 500ms). It is also the starting point of the book-failure backoff.
 	Poll time.Duration
+	// BookBackoffMax caps the exponential backoff between failed /book
+	// attempts (default 15s). On transient dispatcher errors the retry
+	// delay doubles from Poll up to this cap, with jitter, and resets the
+	// moment a book succeeds — so a fleet of workers facing a restarted
+	// dispatcher re-books spread out instead of stampeding in lockstep.
+	BookBackoffMax time.Duration
 	// Concurrency is how many cells run at once (default 1). It is
 	// advertised to the queue as the worker's booking capacity, so an
 	// N-job worker holds up to N concurrent leases and drains the matrix
@@ -83,13 +92,51 @@ type Worker struct {
 	// taken over these bodies, and the bodies ship to the dispatcher's
 	// store.
 	Artifacts func(*sapsim.Result) (map[string]string, error)
+	// Metrics, when set, receives the worker's fleet metrics (in-flight
+	// vs capacity, per-cell wall time, heartbeat RTT, book failures,
+	// upload dedup) — simworker serves it on its -metrics listener.
+	Metrics *fleetmetrics.Registry
+
+	// m holds the registered instruments (nil when Metrics is unset).
+	m *workerMetrics
+	// hostname, sleep, and randFloat are test seams: identity-collision
+	// and backoff tests substitute deterministic implementations.
+	hostname  func() (string, error)
+	sleep     func(ctx context.Context, d time.Duration) error
+	randFloat func() float64
 }
 
 func (w *Worker) fill() {
+	if w.hostname == nil {
+		w.hostname = os.Hostname
+	}
+	if w.sleep == nil {
+		w.sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	if w.randFloat == nil {
+		w.randFloat = rand.Float64
+	}
 	if w.ID == "" {
-		host, _ := os.Hostname()
-		if host == "" {
-			host = "worker"
+		host, err := w.hostname()
+		if err != nil || host == "" {
+			// The queue keys leases and attempt nonces by worker ID, so two
+			// workers must never share one. A fixed "worker" fallback would
+			// collide the moment two hostname-less containers with PID 1
+			// joined the same sweep — draw a random suffix instead.
+			var b [4]byte
+			if _, rerr := crand.Read(b[:]); rerr != nil {
+				b = [4]byte{byte(os.Getpid()), byte(os.Getpid() >> 8), byte(os.Getpid() >> 16), byte(os.Getpid() >> 24)}
+			}
+			host = fmt.Sprintf("anon-%x", b)
 		}
 		w.ID = fmt.Sprintf("%s:%d", host, os.Getpid())
 	}
@@ -98,6 +145,12 @@ func (w *Worker) fill() {
 	}
 	if w.Poll <= 0 {
 		w.Poll = 500 * time.Millisecond
+	}
+	if w.BookBackoffMax <= 0 {
+		w.BookBackoffMax = 15 * time.Second
+	}
+	if w.BookBackoffMax < w.Poll {
+		w.BookBackoffMax = w.Poll
 	}
 	if w.Concurrency <= 0 {
 		w.Concurrency = 1
@@ -110,6 +163,9 @@ func (w *Worker) fill() {
 	}
 	if w.Artifacts == nil {
 		w.Artifacts = sapsim.ArtifactSet
+	}
+	if w.Metrics != nil && w.m == nil {
+		w.m = newWorkerMetrics(w.Metrics, w.ID, w.Concurrency)
 	}
 }
 
@@ -131,6 +187,7 @@ func (w *Worker) Run(ctx context.Context) error {
 	slots := make(chan struct{}, w.Concurrency)
 	var wg sync.WaitGroup
 	defer wg.Wait()
+	backoff := w.Poll
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -146,17 +203,41 @@ func (w *Worker) Run(ctx context.Context) error {
 			<-slots
 			return nil
 		case err != nil:
-			// Transient dispatcher unavailability: back off and retry.
-			w.logf("worker %s: book: %v", w.ID, err)
-			fallthrough
-		case booked == nil:
+			// Transient dispatcher unavailability: jittered exponential
+			// backoff, doubling from Poll up to BookBackoffMax. The jitter
+			// (uniform over [backoff/2, backoff)) decorrelates a fleet whose
+			// workers all saw the same dispatcher restart — without it they
+			// retry in lockstep and the recovering dispatcher eats a
+			// thundering herd at every interval.
+			if w.m != nil {
+				w.m.bookFails.Inc()
+			}
+			w.logf("worker %s: book: %v (retry in ~%s)", w.ID, err, backoff)
 			<-slots
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			case <-time.After(w.Poll):
+			delay := backoff/2 + time.Duration(w.randFloat()*float64(backoff/2))
+			if err := w.sleep(ctx, delay); err != nil {
+				return err
+			}
+			if backoff *= 2; backoff > w.BookBackoffMax {
+				backoff = w.BookBackoffMax
 			}
 			continue
+		case booked == nil:
+			// The dispatcher answered (nothing free right now): it is
+			// healthy, so poll at the normal cadence and reset the backoff.
+			backoff = w.Poll
+			if w.m != nil {
+				w.m.booksEmpty.Inc()
+			}
+			<-slots
+			if err := w.sleep(ctx, w.Poll); err != nil {
+				return err
+			}
+			continue
+		}
+		backoff = w.Poll
+		if w.m != nil {
+			w.m.booksBooked.Inc()
 		}
 		if w.Hooks.OnBook != nil {
 			w.Hooks.OnBook(booked.Job, scenario.Key{Scenario: booked.Key.Scenario,
@@ -166,12 +247,24 @@ func (w *Worker) Run(ctx context.Context) error {
 		go func(booked *BookResponse) {
 			defer wg.Done()
 			defer func() { <-slots }()
-			if err := w.runCell(ctx, w.ID, booked); err != nil && ctx.Err() == nil {
+			if w.m != nil {
+				w.m.inflight.Inc()
+			}
+			start := time.Now()
+			err := w.runCell(ctx, w.ID, booked)
+			if w.m != nil {
+				w.m.inflight.Dec()
+				w.m.cellSecs.Observe(time.Since(start).Seconds())
+			}
+			if err != nil && ctx.Err() == nil {
 				// Abandon the cell, handing the lease back so it re-books
 				// immediately — otherwise the queue counts it against this
 				// worker's capacity until the lease times out, idling a
 				// slot. Best-effort: if the lease is already lost (409) or
 				// the dispatcher is unreachable, expiry re-books it anyway.
+				if w.m != nil {
+					w.m.abandoned.Inc()
+				}
 				w.logf("worker %s: job %d abandoned: %v", w.ID, booked.Job, err)
 				var ok struct{ OK bool }
 				_, _ = w.post(ctx, "/release",
@@ -184,6 +277,8 @@ func (w *Worker) Run(ctx context.Context) error {
 				case <-ctx.Done():
 				case <-time.After(w.AbandonBackoff):
 				}
+			} else if err == nil && w.m != nil {
+				w.m.completed.Inc()
 			}
 		}(booked)
 	}
@@ -290,10 +385,14 @@ func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) e
 			ckpt := latest
 			mu.Unlock()
 			var ok struct{ OK bool }
+			hbStart := time.Now()
 			status, err := w.post(cellCtx, "/progress",
 				ProgressRequest{Worker: id, Job: booked.Job, Attempt: booked.Attempt, Checkpoint: ckpt}, &ok)
 			if err != nil {
 				continue // transient; the lease outlives several heartbeats
+			}
+			if w.m != nil {
+				w.m.heartbeat.Observe(time.Since(hbStart).Seconds())
 			}
 			if status == http.StatusConflict {
 				cancelCell(ErrStale)
@@ -398,6 +497,9 @@ func (w *Worker) upload(ctx context.Context, job int, bodies, digests map[string
 			return err
 		}
 		if status == http.StatusOK {
+			if w.m != nil {
+				w.m.upDedup.Inc()
+			}
 			if w.Hooks.OnUpload != nil {
 				w.Hooks.OnUpload(job, id, digest, true)
 			}
@@ -409,6 +511,9 @@ func (w *Worker) upload(ctx context.Context, job int, bodies, digests map[string
 		}
 		if status != http.StatusCreated && status != http.StatusOK {
 			return fmt.Errorf("dispatch: artifact %s rejected: status %d", id, status)
+		}
+		if w.m != nil {
+			w.m.upStored.Inc()
 		}
 		if w.Hooks.OnUpload != nil {
 			w.Hooks.OnUpload(job, id, digest, false)

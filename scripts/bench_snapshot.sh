@@ -90,8 +90,8 @@ snapshot() {
 
 merge() {
 	[ $# -eq 2 ] || { echo "usage: bench_snapshot.sh merge BEFORE.json AFTER.json" >&2; exit 2; }
-	jq -n --slurpfile before "$1" --slurpfile after "$2" \
-		'{pr: "PR6", regression_warn_pct: 20, baseline: $before[0], current: $after[0]}'
+	jq -n --arg pr "${BENCH_PR:-PR?}" --slurpfile before "$1" --slurpfile after "$2" \
+		'{pr: $pr, regression_warn_pct: 20, baseline: $before[0], current: $after[0]}'
 }
 
 compare() {

@@ -12,11 +12,12 @@ cd "$(dirname "$0")/.."
 workdir="$(mktemp -d)"
 trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
-go build -o "$workdir" ./cmd/dispatchd ./cmd/simworker
+go build -o "$workdir" ./cmd/dispatchd ./cmd/simworker ./cmd/analyze
 # Built separately: `sweep` would collide with the journal dir name below.
 go build -o "$workdir/sweepcli" ./cmd/sweep
 
 addr="127.0.0.1:${DISPATCH_SMOKE_PORT:-19199}"
+worker_metrics="127.0.0.1:${DISPATCH_SMOKE_METRICS_PORT:-19198}"
 journal="$workdir/sweep"
 
 # Cells sized to run a few seconds each, so the kill lands mid-cell.
@@ -32,6 +33,7 @@ sleep 1
   >/dev/null 2>"$workdir/victim.err" &
 victim_pid=$!
 "$workdir/simworker" -dispatcher "http://$addr" -id survivor -heartbeat 300ms -poll 200ms \
+  -metrics "$worker_metrics" \
   >/dev/null 2>"$workdir/survivor.err" &
 survivor_pid=$!
 
@@ -49,6 +51,22 @@ for _ in $(seq 1 100); do
   sleep 0.2
 done
 [ -n "$killed" ] || { echo "smoke: victim never booked a cell" >&2; exit 1; }
+
+# Mid-sweep fleet observability: scrape dispatchd's and the survivor's
+# /metrics endpoints through the in-tree scrape/promql stack and assert
+# queue-depth conservation — every cell of the 2x2 matrix is in exactly one
+# state, whatever the re-book races are doing right now.
+depth=$("$workdir/analyze" \
+    -scrape "http://$addr/metrics,http://$worker_metrics/metrics" \
+    -query 'sum(dispatch_queue_jobs)' | tail -n 1)
+[ "$depth" = "4" ] ||
+  { echo "smoke: mid-sweep sum(dispatch_queue_jobs) = $depth, want 4" >&2; exit 1; }
+capacity=$("$workdir/analyze" \
+    -scrape "http://$worker_metrics/metrics" \
+    -query 'sum(worker_capacity)' | tail -n 1)
+[ "$capacity" = "1" ] ||
+  { echo "smoke: survivor worker_capacity = $capacity, want 1" >&2; exit 1; }
+echo "smoke: mid-sweep metrics scrape OK (queue depth conserved at 4 cells)"
 
 # The survivor must drain the sweep, including the re-booked cell.
 if ! wait "$dispatchd_pid"; then
