@@ -50,6 +50,7 @@ func main() {
 		poll       = flag.Duration("poll", 500*time.Millisecond, "idle re-poll interval when no cell is free")
 		timeout    = flag.Duration("timeout", 0, "wall-clock limit (0 = run until drained)")
 		metrics    = flag.String("metrics", "", "serve Prometheus metrics at this address (e.g. 127.0.0.1:9191; empty = off)")
+		snapshots  = flag.Bool("snapshots", true, "upload mid-run engine snapshots so a re-booked cell warm-resumes instead of restarting from t=0")
 		quiet      = flag.Bool("quiet", false, "suppress per-cell progress lines")
 	)
 	flag.Parse()
@@ -67,11 +68,12 @@ func main() {
 	}
 
 	w := &dispatch.Worker{
-		Dispatcher:     *dispatcher,
-		ID:             *id,
-		Concurrency:    *jobs,
-		HeartbeatEvery: *heartbeat,
-		Poll:           *poll,
+		Dispatcher:       *dispatcher,
+		ID:               *id,
+		Concurrency:      *jobs,
+		HeartbeatEvery:   *heartbeat,
+		Poll:             *poll,
+		DisableSnapshots: !*snapshots,
 	}
 	if !*quiet {
 		w.Logf = func(format string, args ...any) {

@@ -22,7 +22,7 @@
 //
 //	sweep [-scale F] [-vms N] [-days N] [-sample D] \
 //	      [-scenarios a,b,...] [-variants x,y,...] [-seeds 7,11,...] \
-//	      [-workers N] [-timeout D] [-out DIR] [-diff] [-list] \
+//	      [-workers N] [-timeout D] [-out DIR] [-diff] [-list] [-branch] \
 //	      [-dispatch ADDR] [-resume DIR] [-journal DIR] [-bundle DIR]
 //
 // Scenario and variant names come from the builtin libraries; -list prints
@@ -78,6 +78,7 @@ func main() {
 		resumeDir    = flag.String("resume", "", "resume an interrupted dispatched sweep from this journal directory")
 		journalDir   = flag.String("journal", "", "journal directory for -dispatch (default: OUT/journal, or a temp dir)")
 		checkpoint   = flag.Duration("checkpoint", 6*time.Hour, "simulated-time checkpoint cadence for dispatched workers")
+		branch       = flag.Bool("branch", false, "warm-fork cells sharing a (variant, seed) from one snapshot of their common prefix (in-process mode only; byte-identical to a cold sweep)")
 		bundleDir    = flag.String("bundle", "", "materialize a digest-verified report bundle (artifact bodies included) into this directory")
 	)
 	flag.Parse()
@@ -127,7 +128,7 @@ func main() {
 	case *dispatchTo != "":
 		res, err = serveSweep(ctx, parseSpec(), *dispatchTo, pickJournalDir(*journalDir, *out), *progress, *bundleDir)
 	default:
-		res, err = localSweep(ctx, parseSpec(), *workers, *diff, *progress, *bundleDir)
+		res, err = localSweep(ctx, parseSpec(), *workers, *diff, *progress, *branch, *bundleDir)
 	}
 	if err != nil {
 		fatal(err)
@@ -177,13 +178,14 @@ func main() {
 // byte-identical to the bundle a dispatched sweep of the same matrix
 // produces.
 func localSweep(ctx context.Context, spec dispatch.Spec, workers int,
-	fingerprint, progress bool, bundleDir string) (*scenario.SweepResult, error) {
+	fingerprint, progress, branch bool, bundleDir string) (*scenario.SweepResult, error) {
 	m, err := spec.Matrix()
 	if err != nil {
 		return nil, err
 	}
 	m.Workers = workers
 	m.Context = ctx
+	m.Branch = branch
 	var store *artifact.Store
 	if bundleDir != "" {
 		casDir, err := os.MkdirTemp("", "sweep-cas-*")

@@ -102,6 +102,64 @@ func compareGoldens(t *testing.T, got map[string]string, order []string) {
 	}
 }
 
+// TestGoldenArtifactsSnapshotResume proves the snapshot subsystem against
+// the same goldens: snapshot the golden run at the midpoint of its horizon,
+// round-trip the snapshot through its wire form, resume a fresh session
+// from it, and finish — all 18 artifact digests must still match the
+// uninterrupted run byte for byte. This is the warm-resume path a
+// re-booked dispatch cell takes, pinned to the paper reproduction.
+func TestGoldenArtifactsSnapshotResume(t *testing.T) {
+	if *updateGolden {
+		t.Skip("goldens are blessed through TestGoldenArtifacts")
+	}
+	cfg := goldenConfig()
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	midpoint := int(cfg.Horizon()/cfg.SampleEvery) / 2
+	if _, err := s.Step(midpoint); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := EncodeSnapshotBytes(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSnapshotBytes(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeFromSnapshot(cfg, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if err := resumed.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := resumed.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(map[string]string)
+	var order []string
+	for _, exp := range Experiments() {
+		art, err := exp.Compute(res)
+		if err != nil {
+			t.Fatalf("%s: %v", exp.ID, err)
+		}
+		got[exp.ID] = fmt.Sprintf("%x", sha256.Sum256([]byte(art.Text)))
+		order = append(order, exp.ID)
+	}
+	compareGoldens(t, got, order)
+}
+
 // TestGoldenArtifactsSession proves the Session lifecycle and the Run
 // compatibility wrapper emit identical artifacts: the same goldens must
 // hold for a run driven through NewSession with uneven Step boundaries,

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"strconv"
 
 	"sapsim/internal/analysis"
 	"sapsim/internal/drs"
@@ -12,6 +13,7 @@ import (
 	"sapsim/internal/nova"
 	"sapsim/internal/placement"
 	"sapsim/internal/sim"
+	"sapsim/internal/snapshot"
 	"sapsim/internal/telemetry"
 	"sapsim/internal/topology"
 	"sapsim/internal/vmmodel"
@@ -49,6 +51,19 @@ type Hooks struct {
 	OnTick func(now sim.Time)
 }
 
+// Owners of the core layer's snapshot-surviving events. Scenario injectors
+// use "inj/<idx>/<suffix>" keys built by Env.
+const (
+	ownerArrive     = "core/arrive"
+	ownerDelete     = "core/delete"
+	ownerTickHost   = "core/tick/host"
+	ownerTickVM     = "core/tick/vm"
+	ownerTickDRS    = "core/tick/drs"
+	ownerTickCross  = "core/tick/cross"
+	ownerTickResize = "core/tick/resize"
+	ownerResizeRNG  = "core/resize"
+)
+
 // Simulation is a fully assembled experiment that has not necessarily run
 // to completion yet: the phased, step-driven form of Run. NewSimulation
 // builds the region, places the epoch population, and wires samplers,
@@ -67,6 +82,41 @@ type Simulation struct {
 
 	lastArrival sim.Time
 	finalized   bool
+
+	// instances is the deterministic workload in generation order; the
+	// snapshot's VM overlay is index-aligned with its prefix.
+	instances []*workload.Instance
+	// placeVM places instance idx at now (shared by the cold arrival path
+	// and the arrival rearmer).
+	placeVM func(idx int, in *workload.Instance, now sim.Time)
+	// rearmers rebuilds the handler of a pending event from its
+	// (owner, payload) record when the engine queue is restored.
+	rearmers map[string]func(payload []byte) (sim.Rearmed, error)
+	// rngs registers every RNG source that stays live across events; the
+	// snapshot marshals them, restore rewinds them.
+	rngs map[string]*rand.PCG
+	// down is the scenario layer's out-of-service refcount map, shared by
+	// every injector Env (empty when no injector runs).
+	down map[topology.NodeID]int
+	// sampler is kept so a restore can seed its per-VM label cache (the
+	// flavor label is pinned at a VM's first sample, which may predate the
+	// snapshot and a later resize).
+	sampler *sampler
+	// env is the base injector environment (nil without injectors); fork
+	// restores copy it to inject branch injectors after the queue is back.
+	env *Env
+}
+
+// indexPayload encodes an instance index as an event payload.
+func indexPayload(i int) []byte { return []byte(strconv.Itoa(i)) }
+
+// payloadIndex decodes an instance index payload, bounds-checked against n.
+func payloadIndex(p []byte, n int) (int, error) {
+	i, err := strconv.Atoi(string(p))
+	if err != nil || i < 0 || i >= n {
+		return 0, fmt.Errorf("core: bad index payload %q", p)
+	}
+	return i, nil
 }
 
 // NewSimulation assembles a simulation: topology, fleet, scheduler, epoch
@@ -74,6 +124,18 @@ type Simulation struct {
 // churn, and scenario injectors. The returned simulation is positioned at
 // time zero with the whole observation window ahead of it.
 func NewSimulation(cfg Config, hooks Hooks) (*Simulation, error) {
+	return assemble(cfg, hooks, nil)
+}
+
+// assemble builds the full simulation skeleton. With a nil snapshot it is
+// the ordinary cold start. With a snapshot it prepares the same skeleton for
+// an overlay restore: the epoch population stays unplaced, no arrival or
+// ticker events are scheduled (they come back from the captured engine
+// queue through the rearmer table), and the first snap.NumInjectors
+// injectors run in restoring mode — registering their handler factories and
+// RNG streams without scheduling anything.
+func assemble(cfg Config, hooks Hooks, snap *snapshot.Snapshot) (*Simulation, error) {
+	restoring := snap != nil
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -108,21 +170,44 @@ func NewSimulation(cfg Config, hooks Hooks) (*Simulation, error) {
 			Scheduler: sched,
 			Events:    &events.Log{},
 		},
-		engine: sim.NewEngine(),
-		live:   make(map[vmmodel.ID]*vmmodel.VM),
+		engine:   sim.NewEngine(),
+		live:     make(map[vmmodel.ID]*vmmodel.VM),
+		rearmers: make(map[string]func([]byte) (sim.Rearmed, error)),
+		rngs:     make(map[string]*rand.PCG),
+		down:     make(map[topology.NodeID]int),
 	}
 	res, engine, live := s.res, s.engine, s.live
 
 	spec := workload.DefaultSpec(cfg.VMs, cfg.Seed)
 	spec.Horizon = cfg.Horizon()
 	spec.Phases = cfg.ArrivalPhases
-	instances := workload.NewGenerator(spec).Generate()
+	s.instances = workload.NewGenerator(spec).Generate()
+	instances := s.instances
 
 	// record appends an event; logging failures cannot occur because all
 	// appends happen in simulation-time order.
 	record := func(e events.Event) { _ = res.Events.Append(e) }
 
-	placeVM := func(in *workload.Instance, now sim.Time) {
+	// deleteVM builds the planned-deletion handler for one instance. Both
+	// the cold path and the rearmer use it, so a restored deletion event
+	// behaves identically to the original.
+	deleteVM := func(in *workload.Instance) sim.Handler {
+		return func(at sim.Time) {
+			if _, ok := live[in.VM.ID]; !ok {
+				return
+			}
+			delete(live, in.VM.ID)
+			source := ""
+			if in.VM.Node != nil {
+				source = string(in.VM.Node.ID)
+			}
+			_ = sched.Delete(in.VM, at)
+			record(events.Event{At: at, Type: events.Delete,
+				VM: string(in.VM.ID), Flavor: in.VM.Flavor.Name, Source: source})
+		}
+	}
+
+	s.placeVM = func(idx int, in *workload.Instance, now sim.Time) {
 		res.VMs = append(res.VMs, in.VM)
 		res.Lifetimes = append(res.Lifetimes, analysis.LifetimeRecord{
 			Flavor: in.VM.Flavor, Lifetime: in.Lifetime,
@@ -151,44 +236,68 @@ func NewSimulation(cfg Config, hooks Hooks) (*Simulation, error) {
 		}
 		live[in.VM.ID] = in.VM
 		if del := in.DeleteAt(); del < cfg.Horizon() {
-			in := in
-			engine.SchedulePriority(del, -1, func(at sim.Time) {
-				if _, ok := live[in.VM.ID]; !ok {
-					return
-				}
-				delete(live, in.VM.ID)
-				source := ""
-				if in.VM.Node != nil {
-					source = string(in.VM.Node.ID)
-				}
-				_ = sched.Delete(in.VM, at)
-				record(events.Event{At: at, Type: events.Delete,
-					VM: string(in.VM.ID), Flavor: in.VM.Flavor.Name, Source: source})
-			})
+			_, _ = engine.SchedulePriorityOwned(del, -1, ownerDelete, indexPayload(idx), deleteVM(in))
 		}
+	}
+	placeVM := s.placeVM
+
+	s.rearmers[ownerArrive] = func(p []byte) (sim.Rearmed, error) {
+		idx, err := payloadIndex(p, len(instances))
+		if err != nil {
+			return sim.Rearmed{}, err
+		}
+		in := instances[idx]
+		return sim.Rearmed{Fn: func(at sim.Time) { placeVM(idx, in, at) }}, nil
+	}
+	s.rearmers[ownerDelete] = func(p []byte) (sim.Rearmed, error) {
+		idx, err := payloadIndex(p, len(instances))
+		if err != nil {
+			return sim.Rearmed{}, err
+		}
+		return sim.Rearmed{Fn: deleteVM(instances[idx])}, nil
 	}
 
 	// Initial population: placed before the first sample. The paper's
-	// region is in steady state at the epoch.
-	for _, in := range instances {
+	// region is in steady state at the epoch. A restore skips placement
+	// and arrival scheduling: the VM overlay and the captured engine queue
+	// carry that state.
+	for idx, in := range instances {
 		if in.ArriveAt <= 0 {
-			placeVM(in, 0)
-		} else {
-			if in.ArriveAt > s.lastArrival {
-				s.lastArrival = in.ArriveAt
+			if !restoring {
+				placeVM(idx, in, 0)
 			}
-			in := in
-			if _, err := engine.Schedule(in.ArriveAt, func(at sim.Time) {
-				placeVM(in, at)
+			continue
+		}
+		if in.ArriveAt > s.lastArrival {
+			s.lastArrival = in.ArriveAt
+		}
+		if !restoring {
+			idx, in := idx, in
+			if _, err := engine.ScheduleOwned(in.ArriveAt, 0, ownerArrive, indexPayload(idx), func(at sim.Time) {
+				placeVM(idx, in, at)
 			}); err != nil {
 				return nil, err
 			}
 		}
 	}
 
+	// addTicker wires a recurring event: scheduled from scratch on a cold
+	// start, or created unscheduled and registered as a rearmer when the
+	// captured queue will bring its pending event back.
+	addTicker := func(owner string, start, every sim.Time, fn sim.Handler) error {
+		if restoring {
+			_, r := engine.RearmTicker(every, owner, fn)
+			s.rearmers[owner] = func([]byte) (sim.Rearmed, error) { return r, nil }
+			return nil
+		}
+		_, err := engine.EveryOwned(start, every, owner, fn)
+		return err
+	}
+
 	// Host telemetry sampler. OnTick fires after the sweep so observers see
 	// a consistent snapshot of the just-sampled state.
 	sampler := newSampler(res, cfg)
+	s.sampler = sampler
 	hostTick := sampler.sampleHosts
 	if hooks.OnTick != nil {
 		hostTick = func(now sim.Time) {
@@ -196,12 +305,12 @@ func NewSimulation(cfg Config, hooks Hooks) (*Simulation, error) {
 			hooks.OnTick(now)
 		}
 	}
-	if _, err := engine.Every(0, cfg.SampleEvery, hostTick); err != nil {
+	if err := addTicker(ownerTickHost, 0, cfg.SampleEvery, hostTick); err != nil {
 		return nil, err
 	}
 	if cfg.RecordVMMetrics {
 		vmSampler := func(now sim.Time) { sampler.sampleVMs(now, live) }
-		if _, err := engine.Every(0, cfg.VMSampleEvery, vmSampler); err != nil {
+		if err := addTicker(ownerTickVM, 0, cfg.VMSampleEvery, vmSampler); err != nil {
 			return nil, err
 		}
 	}
@@ -224,7 +333,7 @@ func NewSimulation(cfg Config, hooks Hooks) (*Simulation, error) {
 			}
 		}
 		rebalancer := s.rebalancer
-		if _, err := engine.Every(every, every, func(now sim.Time) {
+		if err := addTicker(ownerTickDRS, every, every, func(now sim.Time) {
 			rebalancer.RebalanceAll(now)
 		}); err != nil {
 			return nil, err
@@ -242,7 +351,7 @@ func NewSimulation(cfg Config, hooks Hooks) (*Simulation, error) {
 			}
 		}
 		cross := s.cross
-		if _, err := engine.Every(sim.Day, sim.Day, func(now sim.Time) {
+		if err := addTicker(ownerTickCross, sim.Day, sim.Day, func(now sim.Time) {
 			cross.Rebalance(now)
 		}); err != nil {
 			return nil, err
@@ -250,11 +359,14 @@ func NewSimulation(cfg Config, hooks Hooks) (*Simulation, error) {
 	}
 
 	// Resize churn: user-initiated flavor changes at the configured rate
-	// (resize is a scheduler-triggering event, Sec. 2.2).
+	// (resize is a scheduler-triggering event, Sec. 2.2). The stream stays
+	// live across ticks, so it is registered for snapshot capture.
 	if cfg.ResizeRate > 0 {
-		rng := rand.New(rand.NewPCG(cfg.Seed, 0x7e512e))
+		src := rand.NewPCG(cfg.Seed, 0x7e512e)
+		rng := rand.New(src)
+		s.rngs[ownerResizeRNG] = src
 		perDay := cfg.ResizeRate * float64(cfg.VMs) / 30
-		if _, err := engine.Every(12*sim.Hour, sim.Day, func(now sim.Time) {
+		if err := addTicker(ownerTickResize, 12*sim.Hour, sim.Day, func(now sim.Time) {
 			n := int(perDay)
 			if rng.Float64() < perDay-float64(n) {
 				n++
@@ -282,7 +394,10 @@ func NewSimulation(cfg Config, hooks Hooks) (*Simulation, error) {
 	}
 
 	// Scenario injectors run last so the steady-state wiring above is
-	// complete when they schedule their operational events.
+	// complete when they schedule their operational events. On a restore,
+	// only the injectors the snapshot was captured with run here (in
+	// restoring mode); appended branch injectors are injected by
+	// RestoreSimulation once the engine queue is back.
 	if len(cfg.Injectors) > 0 {
 		// Injector-driven evacuations land in the event log through
 		// Env.Record; mirror them onto the hooks so observers see forced
@@ -303,14 +418,27 @@ func NewSimulation(cfg Config, hooks Hooks) (*Simulation, error) {
 				}
 			}
 		}
-		env := &Env{
+		s.env = &Env{
 			Engine: engine, Config: cfg, Region: region, Fleet: fleet,
 			Scheduler: sched, Result: res, live: live, record: envRecord,
-			down: make(map[topology.NodeID]int),
+			down: s.down, rearmers: s.rearmers, rngs: s.rngs,
 		}
-		for _, inj := range cfg.Injectors {
-			if err := inj.Inject(env); err != nil {
-				return nil, fmt.Errorf("core: injector %s: %w", inj.Name(), err)
+		limit := len(cfg.Injectors)
+		if restoring {
+			limit = snap.NumInjectors
+		}
+		for i := 0; i < limit; i++ {
+			// Each injector gets its own Env copy: the index baked into the
+			// copy namespaces the rearm keys its handlers compute at event
+			// time, while the maps stay shared.
+			env := *s.env
+			env.idx = i
+			env.restoring = restoring
+			if restoring {
+				env.restoreAt = snap.At
+			}
+			if err := cfg.Injectors[i].Inject(&env); err != nil {
+				return nil, fmt.Errorf("core: injector %s: %w", cfg.Injectors[i].Name(), err)
 			}
 		}
 	}

@@ -58,7 +58,10 @@ import (
 // reject records from a different format rather than misparse them.
 // Version 2 added the content-addressed artifact store alongside the
 // journal (blob records in the WAL, store verification on resume).
-const FormatVersion = 2
+// Version 3 added mid-run snapshot records: workers upload encoded engine
+// snapshots into the store and journal a pointer, so a re-booked cell
+// resumes from the newest intact snapshot instead of t=0.
+const FormatVersion = 3
 
 // ConfigSpec is the serializable subset of core.Config — the knobs the
 // sweep CLIs vary. Config reconstructs a full core.Config from it on the
@@ -351,5 +354,8 @@ type JobStatus struct {
 	Attempt int
 	// Checkpoint is the latest heartbeat snapshot for in-flight cells.
 	Checkpoint *CheckpointRecord `json:",omitempty"`
-	Err        string            `json:",omitempty"`
+	// Snapshot points at the newest uploaded engine snapshot, the state a
+	// re-booking of this cell would warm-resume from.
+	Snapshot *SnapshotRecord `json:",omitempty"`
+	Err      string          `json:",omitempty"`
 }

@@ -39,6 +39,11 @@ type journalRecord struct {
 	Checkpoint *CheckpointRecord `json:"ckpt,omitempty"`
 	Run        *RunResult        `json:"run,omitempty"`
 
+	// snapshot: a worker uploaded a mid-run engine snapshot for Job; the
+	// blob lives in the store under Snapshot.Digest. The newest record per
+	// cell wins — a re-booking resumes from it.
+	Snapshot *SnapshotRecord `json:"snap,omitempty"`
+
 	// artifact: a blob landed in the content-addressed store. Digest is the
 	// blob's SHA-256; Size its byte length — the record Resume uses to
 	// distinguish a truncated blob (size drifted) from a corrupt one
@@ -53,6 +58,7 @@ const (
 	recCheckpoint = "checkpoint"
 	recResult     = "result"
 	recArtifact   = "artifact"
+	recSnapshot   = "snapshot"
 )
 
 // journalWriter appends records to the WAL. Callers serialize access (the

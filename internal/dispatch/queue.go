@@ -26,6 +26,9 @@ type Job struct {
 	Run *RunResult
 	// LastCheckpoint is the latest heartbeat snapshot while running.
 	LastCheckpoint *CheckpointRecord
+	// LastSnapshot points at the newest uploaded engine snapshot; a
+	// re-booking of this cell warm-resumes from it.
+	LastSnapshot *SnapshotRecord
 }
 
 // Stale is returned by Progress and Complete when the reporting worker no
@@ -191,6 +194,12 @@ func Resume(dir string, opts QueueOptions) (*Queue, error) {
 				continue
 			}
 			j.LastCheckpoint = rec.Checkpoint
+		case recSnapshot:
+			if rec.Snapshot == nil || rec.Snapshot.Validate() != nil {
+				replay.skipped++
+				continue
+			}
+			j.LastSnapshot = rec.Snapshot
 		case recResult:
 			if rec.Run == nil {
 				replay.skipped++
@@ -282,9 +291,55 @@ func Resume(dir string, opts QueueOptions) (*Queue, error) {
 			auditRequeued[j.ID] = true
 		}
 	}
+	// Audit snapshot blobs the same way — but with the opposite
+	// consequence. A damaged artifact blob re-queues its done cell (the
+	// result is unusable without its bodies); a damaged snapshot blob
+	// merely costs its in-flight cell the warm resume: the pointer is
+	// dropped and the cell restarts from t=0 through the CheckpointRecord
+	// path, exactly as every cell did before snapshots existed. Never a
+	// failure, never a re-queue.
+	badSnaps := map[string]int{}
+	for _, j := range q.jobs {
+		if j.LastSnapshot == nil {
+			continue
+		}
+		if j.State == JobDone || j.State == JobFailed {
+			// Terminal cells never resume; the stale pointer is cleared and
+			// the blob falls to GC.
+			j.LastSnapshot = nil
+			continue
+		}
+		digest := j.LastSnapshot.Digest
+		size, ok := blobSizes[digest]
+		if !ok {
+			size = -1
+		}
+		verr := store.Verify(digest, size)
+		switch {
+		case verr == nil:
+			continue
+		case errors.Is(verr, artifact.ErrMissing):
+			badSnaps["missing"]++
+		case errors.Is(verr, artifact.ErrTruncated):
+			badSnaps["truncated"]++
+			heal(digest)
+		case errors.Is(verr, artifact.ErrCorrupt):
+			badSnaps["corrupt"]++
+			heal(digest)
+		default:
+			badSnaps["unreadable"]++
+			heal(digest)
+		}
+		j.LastSnapshot = nil
+	}
 	// Garbage-collect orphans: blobs no remaining done cell references.
+	// Live snapshot pointers of unfinished cells count as references too —
+	// they are what the next booking resumes from.
 	refs := map[string]int{}
 	for _, j := range q.jobs {
+		if j.LastSnapshot != nil && j.State != JobDone && j.State != JobFailed {
+			refs[j.LastSnapshot.Digest]++
+		}
 		if j.State != JobDone || j.Run == nil {
 			continue
 		}
@@ -323,6 +378,11 @@ func Resume(dir string, opts QueueOptions) (*Queue, error) {
 	for _, kind := range []string{"missing", "truncated", "corrupt", "unreadable"} {
 		if n := badBlobs[kind]; n > 0 {
 			q.recovered += fmt.Sprintf(", %d %s blobs", n, kind)
+		}
+	}
+	for _, kind := range []string{"missing", "truncated", "corrupt", "unreadable"} {
+		if n := badSnaps[kind]; n > 0 {
+			q.recovered += fmt.Sprintf(", %d %s snapshot blobs dropped (cells restart from t=0)", n, kind)
 		}
 	}
 	if removeFailed > 0 {
@@ -392,6 +452,9 @@ func (q *Queue) reapLocked(now time.Time) {
 					j.State, j.Run = prevState, nil
 					continue
 				}
+				snap := j.LastSnapshot
+				j.LastSnapshot = nil
+				q.dropSnapshotBlobLocked(snap)
 				if q.metrics != nil {
 					q.metrics.attemptsExhaust.Inc()
 					q.metrics.jobAttempts.Observe(float64(j.Attempt))
@@ -521,6 +584,61 @@ func (q *Queue) Progress(jobID int, worker string, attempt int, ckpt *Checkpoint
 	return nil
 }
 
+// RecordSnapshot journals a worker's mid-run snapshot pointer for a held
+// cell: the encoded snapshot blob must already be in the store (uploaded
+// via PUT /artifact/{digest}, deduplicated like any body) — a pointer to
+// a blob the store does not hold is rejected with ErrMissingBlobs, since
+// a dangling pointer would send every re-booking through a failed fetch.
+// The newest record wins; it is what /book hands the next holder to
+// warm-resume from. Plain append, no fsync: losing the record costs a
+// cold restart, not a cell. Returns Stale when the worker no longer holds
+// the job.
+func (q *Queue) RecordSnapshot(jobID int, worker string, attempt int, rec SnapshotRecord) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reapLocked(q.opts.now())
+	j, err := q.heldLocked(jobID, worker, attempt)
+	if err != nil {
+		return err
+	}
+	if !q.store.Has(rec.Digest) {
+		return fmt.Errorf("%w: job %d: snapshot blob %s not uploaded",
+			ErrMissingBlobs, jobID, rec.Digest)
+	}
+	if q.journal == nil {
+		return errors.New("dispatch: queue closed")
+	}
+	if err := q.journal.append(journalRecord{T: recSnapshot, Job: j.ID, Worker: worker, Snapshot: &rec}); err != nil {
+		return err
+	}
+	prev := j.LastSnapshot
+	j.LastSnapshot = &rec
+	// The superseded snapshot can never be resumed from again (the newest
+	// record wins), so reclaim its blob now instead of accreting one per
+	// cadence boundary until the next Resume's GC.
+	q.dropSnapshotBlobLocked(prev)
+	return nil
+}
+
+// dropSnapshotBlobLocked reclaims a snapshot blob no longer reachable
+// from any cell's live pointer. Best-effort: a failed removal is
+// re-collected by the next Resume's GC, and a blob another cell's pointer
+// still shares is left alone.
+func (q *Queue) dropSnapshotBlobLocked(snap *SnapshotRecord) {
+	if snap == nil {
+		return
+	}
+	for _, j := range q.jobs {
+		if j.LastSnapshot != nil && j.LastSnapshot.Digest == snap.Digest {
+			return
+		}
+	}
+	_ = q.store.Remove(snap.Digest)
+}
+
 // Complete records a worker's finished cell (durably, with an fsync).
 // A successful cell must have every artifact body behind its digests in
 // the store already — a complete whose blobs are missing is rejected with
@@ -562,6 +680,11 @@ func (q *Queue) Complete(jobID int, worker string, attempt int, run RunResult) e
 	if err := q.appendResultLocked(j); err != nil {
 		return err
 	}
+	// A terminal cell never resumes: reclaim its snapshot blob so a
+	// drained store holds exactly the artifact bodies the sweep promises.
+	prev := j.LastSnapshot
+	j.LastSnapshot = nil
+	q.dropSnapshotBlobLocked(prev)
 	if q.metrics != nil {
 		if run.Err != "" {
 			q.metrics.completesFailed.Inc()
@@ -603,6 +726,9 @@ func (q *Queue) Release(jobID int, worker string, attempt int, reason string) er
 			j.State, j.Run = prevState, nil
 			return err
 		}
+		snap := j.LastSnapshot
+		j.LastSnapshot = nil
+		q.dropSnapshotBlobLocked(snap)
 		if q.metrics != nil {
 			q.metrics.attemptsExhaust.Inc()
 			q.metrics.jobAttempts.Observe(float64(j.Attempt))
@@ -699,7 +825,8 @@ func (q *Queue) Snapshot() []JobStatus {
 	out := make([]JobStatus, len(q.jobs))
 	for i, j := range q.jobs {
 		st := JobStatus{ID: j.ID, Key: j.Key, State: j.State.String(),
-			Worker: j.Worker, Attempt: j.Attempt, Checkpoint: j.LastCheckpoint}
+			Worker: j.Worker, Attempt: j.Attempt, Checkpoint: j.LastCheckpoint,
+			Snapshot: j.LastSnapshot}
 		if j.Run != nil {
 			st.Err = j.Run.Err
 		}

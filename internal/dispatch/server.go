@@ -34,6 +34,11 @@ type BookResponse struct {
 	Attempt         int
 	Base            ConfigSpec
 	CheckpointEvery int64 // sim.Time (ns)
+	// Snapshot, when set, points at the newest journaled engine snapshot
+	// for this cell (a previous holder uploaded it before dying): the
+	// worker fetches the blob and warm-resumes from Snapshot.At instead of
+	// replaying from t=0. Missing or damaged blobs degrade to a cold start.
+	Snapshot *SnapshotRecord `json:",omitempty"`
 }
 
 // bookKey mirrors scenario.Key (kept local so the wire format is explicit).
@@ -52,6 +57,9 @@ type ProgressRequest struct {
 	Job        int
 	Attempt    int
 	Checkpoint *CheckpointRecord `json:",omitempty"`
+	// Snapshot reports a freshly uploaded engine snapshot (the blob must
+	// already be in the store via PUT /artifact/{digest}).
+	Snapshot *SnapshotRecord `json:",omitempty"`
 }
 
 // CompleteRequest reports a finished cell. Every artifact body behind
@@ -209,6 +217,7 @@ func (d *Dispatcher) handleBook(w http.ResponseWriter, r *http.Request) {
 			Attempt:         job.Attempt,
 			Base:            spec.Base,
 			CheckpointEvery: int64(spec.CheckpointEvery),
+			Snapshot:        job.LastSnapshot,
 		})
 	}
 }
@@ -225,6 +234,20 @@ func (d *Dispatcher) handleProgress(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 		}
 		return
+	}
+	if req.Snapshot != nil {
+		if err := d.queue.RecordSnapshot(req.Job, req.Worker, req.Attempt, *req.Snapshot); err != nil {
+			switch {
+			case errors.Is(err, ErrStale):
+				http.Error(w, err.Error(), http.StatusConflict)
+			case errors.Is(err, ErrMissingBlobs):
+				http.Error(w, err.Error(), http.StatusPreconditionFailed)
+			default:
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			}
+			return
+		}
+		d.logf("dispatch: job %d snapshot at %v from %s", req.Job, req.Snapshot.At, req.Worker)
 	}
 	d.writeJSON(w, struct{ OK bool }{true})
 }

@@ -1,0 +1,307 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sapsim/internal/artifact"
+	"sapsim/internal/scenario"
+	"sapsim/internal/sim"
+)
+
+func TestSnapshotRecordValidation(t *testing.T) {
+	good := NewSnapshotRecord(6*sim.Hour, artifact.Digest([]byte("blob")))
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	skewed := good
+	skewed.Format = FormatVersion + 1
+	if err := skewed.Validate(); err == nil || !strings.Contains(err.Error(), "format") {
+		t.Errorf("version-skewed record validated: %v", err)
+	}
+	blank := good
+	blank.Digest = ""
+	if blank.Validate() == nil {
+		t.Error("digest-less record validated")
+	}
+	early := good
+	early.At = 0
+	if early.Validate() == nil {
+		t.Error("t=0 record validated")
+	}
+}
+
+// TestRecordSnapshotFlow: the queue journals a held cell's snapshot
+// pointer only once its blob is in the store, supersedes it newest-wins
+// (reclaiming the old blob), hands it to the next booking after a lease
+// expiry, and reclaims the final blob when the cell completes.
+func TestRecordSnapshotFlow(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	q, _ := newTestQueue(t, QueueOptions{Lease: time.Minute, now: clock.now})
+
+	job, _, err := q.Book("w1", 1)
+	if err != nil || job == nil {
+		t.Fatalf("Book = %v, %v", job, err)
+	}
+
+	// A pointer whose blob was never uploaded is rejected.
+	dangling := NewSnapshotRecord(6*sim.Hour, artifact.Digest([]byte("never uploaded")))
+	if err := q.RecordSnapshot(job.ID, "w1", job.Attempt, dangling); !errors.Is(err, ErrMissingBlobs) {
+		t.Fatalf("dangling snapshot pointer = %v, want ErrMissingBlobs", err)
+	}
+
+	first := putBody(t, q, "snapshot at 6h")
+	if err := q.RecordSnapshot(job.ID, "w1", job.Attempt, NewSnapshotRecord(6*sim.Hour, first)); err != nil {
+		t.Fatal(err)
+	}
+	// Strangers and stale nonces cannot record.
+	second := putBody(t, q, "snapshot at 12h")
+	rec12 := NewSnapshotRecord(12*sim.Hour, second)
+	if err := q.RecordSnapshot(job.ID, "w2", job.Attempt, rec12); !errors.Is(err, ErrStale) {
+		t.Fatalf("stranger snapshot = %v, want ErrStale", err)
+	}
+	if err := q.RecordSnapshot(job.ID, "w1", job.Attempt, rec12); err != nil {
+		t.Fatal(err)
+	}
+	// Newest wins, and the superseded blob is reclaimed immediately.
+	if st := q.Snapshot()[job.ID]; st.Snapshot == nil || st.Snapshot.At != 12*sim.Hour {
+		t.Fatalf("status snapshot = %+v, want the 12h record", st.Snapshot)
+	}
+	if q.Store().Has(first) {
+		t.Error("superseded snapshot blob not reclaimed")
+	}
+	if !q.Store().Has(second) {
+		t.Fatal("live snapshot blob missing")
+	}
+
+	// Lease expiry: the re-booking carries the pointer for a warm resume.
+	clock.advance(2 * time.Minute)
+	rebooked, _, err := q.Book("w2", 1)
+	if err != nil || rebooked == nil || rebooked.ID != job.ID {
+		t.Fatalf("re-book = %+v, %v, want job %d", rebooked, err, job.ID)
+	}
+	if rebooked.LastSnapshot == nil || rebooked.LastSnapshot.Digest != second {
+		t.Fatalf("re-booked cell carries %+v, want the 12h snapshot", rebooked.LastSnapshot)
+	}
+
+	// Completion is terminal: the snapshot blob is reclaimed, the store
+	// converges to artifact bodies only.
+	body := putBody(t, q, "fig5 body")
+	if err := q.Complete(job.ID, "w2", rebooked.Attempt, RunResult{Digests: map[string]string{"fig5": body}}); err != nil {
+		t.Fatal(err)
+	}
+	if q.Store().Has(second) {
+		t.Error("terminal cell's snapshot blob not reclaimed")
+	}
+	if !q.Store().Has(body) {
+		t.Error("artifact body reclaimed alongside the snapshot")
+	}
+}
+
+// TestResumeSnapshotBlobAudit: Resume verifies snapshot blobs like
+// artifact blobs but with the opposite consequence — a missing, truncated,
+// or bit-flipped blob drops the pointer (reported distinctly in
+// Recovered) and the cell restarts from t=0; it is never failed or
+// charged an attempt. An intact blob survives the audit and its pointer
+// rides the next booking.
+func TestResumeSnapshotBlobAudit(t *testing.T) {
+	cases := []struct {
+		kind   string
+		damage func(t *testing.T, path string)
+	}{
+		{"intact", func(t *testing.T, path string) {}},
+		{"missing", func(t *testing.T, path string) {
+			if err := os.Remove(path); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated", func(t *testing.T, path string) {
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, blob[:len(blob)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"corrupt", func(t *testing.T, path string) {
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob[len(blob)/2] ^= 0x40
+			if err := os.WriteFile(path, blob, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind, func(t *testing.T) {
+			clock := &fakeClock{t: time.Unix(1000, 0)}
+			dir := t.TempDir()
+			q, err := NewQueue(dir, testSpec(), QueueOptions{Lease: time.Minute, now: clock.now})
+			if err != nil {
+				t.Fatal(err)
+			}
+			job, _, err := q.Book("w1", 1)
+			if err != nil || job == nil {
+				t.Fatalf("Book = %v, %v", job, err)
+			}
+			digest := putBody(t, q, "encoded snapshot ("+tc.kind+")")
+			if err := q.RecordSnapshot(job.ID, "w1", job.Attempt, NewSnapshotRecord(6*sim.Hour, digest)); err != nil {
+				t.Fatal(err)
+			}
+			if err := q.Close(); err != nil {
+				t.Fatal(err)
+			}
+			tc.damage(t, filepath.Join(dir, artifact.DirName, digest[:2], digest))
+
+			q2, err := Resume(dir, QueueOptions{Lease: time.Minute})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer q2.Close()
+
+			st := q2.Snapshot()[job.ID]
+			if st.State != "queued" {
+				t.Fatalf("cell is %s, want queued — snapshot damage must not fail the cell", st.State)
+			}
+			rebooked, _, err := q2.Book("w2", 1)
+			if err != nil || rebooked == nil || rebooked.ID != job.ID {
+				t.Fatalf("re-book = %+v, %v", rebooked, err)
+			}
+			if tc.kind == "intact" {
+				if !strings.Contains(q2.Recovered(), "0 done, 1 requeued") {
+					t.Errorf("recovered = %q", q2.Recovered())
+				}
+				if strings.Contains(q2.Recovered(), "snapshot") {
+					t.Errorf("intact snapshot reported as damaged: %q", q2.Recovered())
+				}
+				if rebooked.LastSnapshot == nil || rebooked.LastSnapshot.Digest != digest {
+					t.Fatalf("intact snapshot pointer lost: %+v", rebooked.LastSnapshot)
+				}
+				if !q2.Store().Has(digest) {
+					t.Fatal("intact snapshot blob collected by resume GC")
+				}
+				return
+			}
+			want := "1 " + tc.kind + " snapshot blobs dropped (cells restart from t=0)"
+			if !strings.Contains(q2.Recovered(), want) {
+				t.Errorf("recovered = %q, want it to contain %q", q2.Recovered(), want)
+			}
+			if st.Snapshot != nil {
+				t.Error("damaged snapshot pointer survived resume")
+			}
+			if rebooked.LastSnapshot != nil {
+				t.Fatalf("re-booked cell carries damaged snapshot %+v, must restart cold", rebooked.LastSnapshot)
+			}
+			if q2.Store().Has(digest) {
+				t.Error("damaged snapshot blob left in the store (would shadow nothing, but is garbage)")
+			}
+		})
+	}
+}
+
+// TestWorkerWarmResumeByteIdentity: a worker dies after its snapshot is
+// journaled; the re-booked cell warm-resumes from the blob on another
+// worker, and the merged sweep is still byte-identical to the
+// single-process reference — warm resume changes wall-clock cost, never
+// results.
+func TestWorkerWarmResumeByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run end-to-end sweep")
+	}
+	spec := testSpec()
+	ref := referenceSweep(t, spec)
+
+	dir := t.TempDir()
+	q, err := NewQueue(dir, spec, QueueOptions{Lease: 800 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	d := NewDispatcher(q)
+	d.Logf = t.Logf
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	// The victim dies the moment its first snapshot pointer is accepted —
+	// guaranteed mid-cell, with resumable state already in the store.
+	victimCtx, killVictim := context.WithCancel(ctx)
+	var victimOnce sync.Once
+	var victimMu sync.Mutex
+	victimJob := -1
+	victim := &Worker{
+		Dispatcher:     srv.URL,
+		ID:             "victim",
+		HeartbeatEvery: 30 * time.Millisecond,
+		Poll:           30 * time.Millisecond,
+		Hooks: WorkerHooks{
+			OnBook: func(job int, _ scenario.Key) {
+				victimMu.Lock()
+				if victimJob < 0 {
+					victimJob = job
+				}
+				victimMu.Unlock()
+			},
+			OnSnapshot: func(int, SnapshotRecord) { victimOnce.Do(killVictim) },
+		},
+	}
+	victimDone := make(chan error, 1)
+	go func() { victimDone <- victim.Run(victimCtx) }()
+	select {
+	case <-victimCtx.Done():
+	case <-time.After(time.Minute):
+		t.Fatal("victim was never killed (no snapshot accepted)")
+	}
+	<-victimDone
+
+	var resumeMu sync.Mutex
+	resumed := map[int]sim.Time{}
+	survivor := &Worker{
+		Dispatcher:     srv.URL,
+		ID:             "survivor",
+		HeartbeatEvery: 30 * time.Millisecond,
+		Poll:           30 * time.Millisecond,
+		Hooks: WorkerHooks{
+			OnResume: func(job int, at sim.Time) {
+				resumeMu.Lock()
+				resumed[job] = at
+				resumeMu.Unlock()
+			},
+		},
+	}
+	if err := survivor.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	victimMu.Lock()
+	abandoned := victimJob
+	victimMu.Unlock()
+	resumeMu.Lock()
+	at, warm := resumed[abandoned]
+	resumeMu.Unlock()
+	if !warm {
+		t.Fatalf("abandoned job %d was not warm-resumed (resumed: %v)", abandoned, resumed)
+	}
+	if at <= 0 {
+		t.Fatalf("warm resume at %v", at)
+	}
+	t.Logf("job %d warm-resumed at %v", abandoned, at)
+
+	merged, err := q.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, merged, ref, "warm resume")
+}

@@ -41,6 +41,12 @@ type WorkerHooks struct {
 	// deduplicated reports blobs the store already held (skipped via the
 	// HEAD probe).
 	OnUpload func(job int, id, digest string, deduplicated bool)
+	// OnSnapshot fires after a mid-run engine snapshot is accepted by the
+	// dispatcher (blob uploaded, pointer journaled).
+	OnSnapshot func(job int, rec SnapshotRecord)
+	// OnResume fires when a booked cell warm-resumes from a previous
+	// holder's snapshot instead of starting at t=0.
+	OnResume func(job int, at sim.Time)
 }
 
 // Worker is the simd half of the dispatcher split: a stateless loop that
@@ -87,6 +93,11 @@ type Worker struct {
 	Logf func(format string, args ...any)
 	// Hooks observe the lifecycle (tests).
 	Hooks WorkerHooks
+	// DisableSnapshots turns off mid-run snapshot capture and warm
+	// resume: cells always start at t=0 and upload no snapshot blobs
+	// (simworker -snapshots=false). Correctness is unaffected — snapshots
+	// only save the re-run prefix after a worker death.
+	DisableSnapshots bool
 	// Artifacts renders the cell's artifact bodies, artifact ID → text
 	// (default sapsim.ArtifactSet — all 18 paper artifacts). Digests are
 	// taken over these bodies, and the bodies ship to the dispatcher's
@@ -323,30 +334,79 @@ func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) e
 	cellCtx, cancelCell := context.WithCancelCause(ctx)
 	defer cancelCell(nil)
 
-	// latest holds the freshest checkpoint; the heartbeat loop posts it at
-	// its own wall-clock pace — Progress events coalesce in the session
-	// dispatcher, checkpoints coalesce here.
+	// latest holds the freshest checkpoint, pending the freshest encoded
+	// engine snapshot; the heartbeat loop posts them at its own wall-clock
+	// pace — Progress events coalesce in the session dispatcher,
+	// checkpoints and snapshots coalesce here (newest wins).
 	var (
-		mu     sync.Mutex
-		latest *CheckpointRecord
+		mu      sync.Mutex
+		latest  *CheckpointRecord
+		pending *pendingSnapshot
 	)
 	every := sim.Time(booked.CheckpointEvery)
-	session, err := sapsim.NewSession(cfg,
-		sapsim.WithContext(cellCtx),
-		sapsim.WithCheckpointEvery(every),
-		sapsim.WithObserverFunc(func(ev sapsim.SessionEvent) {
-			if c, ok := ev.(sapsim.Checkpoint); ok {
-				rec := NewCheckpointRecord(key, spec.Base, c)
-				mu.Lock()
-				latest = &rec
-				mu.Unlock()
-				if w.Hooks.OnCheckpoint != nil {
-					w.Hooks.OnCheckpoint(booked.Job, rec)
-				}
+	observe := sapsim.WithObserverFunc(func(ev sapsim.SessionEvent) {
+		switch c := ev.(type) {
+		case sapsim.Checkpoint:
+			rec := NewCheckpointRecord(key, spec.Base, c)
+			mu.Lock()
+			latest = &rec
+			mu.Unlock()
+			if w.Hooks.OnCheckpoint != nil {
+				w.Hooks.OnCheckpoint(booked.Job, rec)
 			}
-		}))
-	if err != nil {
-		return w.complete(ctx, id, booked, RunResult{Err: err.Error()})
+		case sapsim.SnapshotReady:
+			// Encode here, on the session's event-dispatch goroutine; the
+			// heartbeat loop ships the blob and reports the pointer.
+			blob, err := sapsim.EncodeSnapshotBytes(c.Snapshot)
+			if err != nil {
+				w.logf("worker %s: job %d snapshot encode: %v", id, booked.Job, err)
+				return
+			}
+			mu.Lock()
+			pending = &pendingSnapshot{at: c.At, digest: artifact.Digest(blob), blob: blob}
+			mu.Unlock()
+		}
+	})
+	buildSession := func(snap *sapsim.Snapshot) (*sapsim.Session, error) {
+		opts := []sapsim.Option{sapsim.WithContext(cellCtx), sapsim.WithCheckpointEvery(every), observe}
+		if !w.DisableSnapshots {
+			opts = append(opts, sapsim.WithSnapshotEvery(every))
+		}
+		if snap != nil {
+			return sapsim.ResumeFromSnapshot(cfg, snap, opts...)
+		}
+		return sapsim.NewSession(cfg, opts...)
+	}
+
+	// Warm resume: a previous holder of this cell uploaded a snapshot
+	// before dying. Every failure on this path — fetch, decode, config
+	// mismatch at build — degrades to the cold t=0 start the checkpoint
+	// record path always provided; a snapshot saves the replayed prefix,
+	// it is never a correctness dependency.
+	var session *sapsim.Session
+	if booked.Snapshot != nil && !w.DisableSnapshots {
+		if snap, err := w.fetchSnapshot(cellCtx, booked.Snapshot); err != nil {
+			w.logf("worker %s: job %d snapshot %s unusable (%v); cold restart from t=0",
+				id, booked.Job, booked.Snapshot.Digest, err)
+		} else if s, err := buildSession(snap); err != nil {
+			w.logf("worker %s: job %d snapshot session (%v); cold restart from t=0", id, booked.Job, err)
+		} else if err := s.Build(); err != nil {
+			s.Close()
+			w.logf("worker %s: job %d snapshot restore (%v); cold restart from t=0", id, booked.Job, err)
+		} else {
+			session = s
+			w.logf("worker %s: job %d resuming from snapshot at %v", id, booked.Job, snap.At)
+			if w.Hooks.OnResume != nil {
+				w.Hooks.OnResume(booked.Job, snap.At)
+			}
+		}
+	}
+	if session == nil {
+		s, err := buildSession(nil)
+		if err != nil {
+			return w.complete(ctx, id, booked, RunResult{Err: err.Error()})
+		}
+		session = s
 	}
 	defer session.Close()
 
@@ -383,11 +443,27 @@ func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) e
 			}
 			mu.Lock()
 			ckpt := latest
+			snap := pending
 			mu.Unlock()
+			// Ship the newest snapshot blob before reporting its pointer:
+			// the dispatcher rejects a pointer whose blob is not in the
+			// store. Upload failures are transient — the snapshot stays
+			// pending and the next heartbeat retries (or ships a newer one).
+			var snapRec *SnapshotRecord
+			if snap != nil {
+				if err := w.uploadSnapshot(cellCtx, snap); err != nil {
+					w.logf("worker %s: job %d snapshot upload: %v", id, booked.Job, err)
+					snap = nil
+				} else {
+					rec := NewSnapshotRecord(snap.at, snap.digest)
+					snapRec = &rec
+				}
+			}
 			var ok struct{ OK bool }
 			hbStart := time.Now()
 			status, err := w.post(cellCtx, "/progress",
-				ProgressRequest{Worker: id, Job: booked.Job, Attempt: booked.Attempt, Checkpoint: ckpt}, &ok)
+				ProgressRequest{Worker: id, Job: booked.Job, Attempt: booked.Attempt,
+					Checkpoint: ckpt, Snapshot: snapRec}, &ok)
 			if err != nil {
 				continue // transient; the lease outlives several heartbeats
 			}
@@ -415,7 +491,13 @@ func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) e
 				if latest == ckpt {
 					latest = nil
 				}
+				if snap != nil && pending == snap {
+					pending = nil
+				}
 				mu.Unlock()
+				if snap != nil && w.Hooks.OnSnapshot != nil {
+					w.Hooks.OnSnapshot(booked.Job, *snapRec)
+				}
 				if w.Hooks.OnHeartbeat != nil {
 					w.Hooks.OnHeartbeat(booked.Job, ckpt)
 				}
@@ -472,6 +554,72 @@ func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) e
 		return err
 	}
 	return nil
+}
+
+// pendingSnapshot is an encoded engine snapshot awaiting upload: the wire
+// blob, its content address, and the simulated instant it captures.
+type pendingSnapshot struct {
+	at     sim.Time
+	digest string
+	blob   []byte
+}
+
+// uploadSnapshot ships one encoded snapshot blob into the dispatcher's
+// store, HEAD-deduplicated like artifact bodies (a re-booked cell that
+// snapshots at an instant the previous holder already covered produces
+// the identical blob).
+func (w *Worker) uploadSnapshot(ctx context.Context, s *pendingSnapshot) error {
+	status, err := w.do(ctx, http.MethodHead, "/artifact/"+s.digest, nil)
+	if err != nil {
+		return err
+	}
+	if status == http.StatusOK {
+		return nil // the store already holds this blob
+	}
+	status, err = w.do(ctx, http.MethodPut, "/artifact/"+s.digest, s.blob)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusCreated && status != http.StatusOK {
+		return fmt.Errorf("dispatch: snapshot blob rejected: status %d", status)
+	}
+	return nil
+}
+
+// fetchSnapshot downloads and decodes the snapshot a BookResponse points
+// at. Any failure — missing blob, short read, bit rot the decode's digest
+// check catches — surfaces as an error the caller degrades to a cold
+// start.
+func (w *Worker) fetchSnapshot(ctx context.Context, rec *SnapshotRecord) (*sapsim.Snapshot, error) {
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	body, status, err := w.fetch(ctx, "/artifact/"+rec.Digest)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("dispatch: snapshot blob fetch: status %d", status)
+	}
+	if got := artifact.Digest(body); got != rec.Digest {
+		return nil, fmt.Errorf("dispatch: snapshot blob hashes to %s, not %s", got, rec.Digest)
+	}
+	return sapsim.DecodeSnapshotBytes(body)
+}
+
+// fetch sends one GET and returns the response body (blob downloads).
+func (w *Worker) fetch(ctx context.Context, path string) ([]byte, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.Dispatcher+path, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := w.Client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return body, resp.StatusCode, err
 }
 
 // upload ships the cell's artifact bodies into the dispatcher's store,

@@ -366,6 +366,19 @@ func (s *Scheduler) RefreshInventory(bb *topology.BuildingBlock) error {
 	return nil
 }
 
+// RefreshAllInventories re-reads capacity for every registered building
+// block, in name order. Snapshot restore calls it after overlaying node
+// service state so every provider inventory reflects the restored fleet
+// before allocations are re-claimed.
+func (s *Scheduler) RefreshAllInventories() error {
+	for _, e := range s.entries {
+		if err := s.RefreshInventory(e.bb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RegisterBB creates a placement resource provider for a building block
 // added to the region after scheduler construction — a mid-run capacity
 // expansion. For a block that already has a provider it degrades to
@@ -385,6 +398,42 @@ func (s *Scheduler) RegisterBB(bb *topology.BuildingBlock) error {
 	}
 	s.addEntry(newEntry(bb, alloc))
 	return nil
+}
+
+// RestoreAllocation re-creates the placement claim and inventory-mirror
+// hold for a VM resident in the fleet — snapshot restore re-admits each
+// live VM onto its recorded node and then calls this to bring the placement
+// view back in sync, exactly as the original Schedule's claim left it.
+func (s *Scheduler) RestoreAllocation(vm *vmmodel.VM) error {
+	if vm.Node == nil {
+		return fmt.Errorf("nova: restore allocation of unplaced VM %s", vm.ID)
+	}
+	e, ok := s.byBB[vm.Node.BB.ID]
+	if !ok {
+		return fmt.Errorf("nova: restore allocation: unknown BB %s", vm.Node.BB.ID)
+	}
+	return s.claim(string(vm.ID), e, int64(vm.Flavor.VCPUs), vm.RequestedMemoryMB())
+}
+
+// RestoreStats overwrites the scheduler's counters from a snapshot.
+func (s *Scheduler) RestoreStats(st Stats) {
+	s.scheduled = st.Scheduled
+	s.failed = st.Failed
+	s.retries = st.Retries
+	clear(s.eliminated)
+	for k, v := range st.Eliminated {
+		s.eliminated[k] = v
+	}
+}
+
+// Contention returns a copy of the per-BB contention view fed through
+// SetContention, for snapshotting.
+func (s *Scheduler) Contention() map[topology.BBID]float64 {
+	out := make(map[topology.BBID]float64, len(s.contention))
+	for k, v := range s.contention {
+		out[k] = v
+	}
+	return out
 }
 
 // MoveBB migrates a VM to a node in a different building block, updating

@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/rand/v2"
 	"sort"
+	"strconv"
+	"strings"
 
 	"sapsim/internal/core"
 	"sapsim/internal/esx"
@@ -18,6 +20,57 @@ import (
 // while keeping every draw derived from the run's seed.
 func injectionStream(env *core.Env, salt uint64) *rand.Rand {
 	return rand.New(rand.NewPCG(env.Config.Seed, 0x5ce7a110^salt))
+}
+
+// intPayload serializes a small index as a rearm payload.
+func intPayload(i int) []byte { return []byte(strconv.Itoa(i)) }
+
+// payloadInt decodes an index payload, bounds-checked against n.
+func payloadInt(p []byte, n int) (int, error) {
+	i, err := strconv.Atoi(string(p))
+	if err != nil || i < 0 || i >= n {
+		return 0, fmt.Errorf("scenario: bad index payload %q", p)
+	}
+	return i, nil
+}
+
+// hostsPayload serializes a host list (by node ID, order-preserving) as a
+// rearm payload for recovery events that close over their victims.
+func hostsPayload(hosts []*esx.Host) []byte {
+	ids := make([]string, len(hosts))
+	for i, h := range hosts {
+		ids[i] = string(h.Node.ID)
+	}
+	return []byte(strings.Join(ids, "\n"))
+}
+
+// payloadHosts resolves a hostsPayload back to live host handles.
+func payloadHosts(env *core.Env, p []byte) ([]*esx.Host, error) {
+	if len(p) == 0 {
+		return nil, nil
+	}
+	ids := strings.Split(string(p), "\n")
+	hosts := make([]*esx.Host, 0, len(ids))
+	for _, id := range ids {
+		h, err := env.Fleet.Host(topology.NodeID(id))
+		if err != nil {
+			return nil, fmt.Errorf("scenario: recovery payload: %w", err)
+		}
+		hosts = append(hosts, h)
+	}
+	return hosts, nil
+}
+
+// restoreHostsFactory is the rearm factory for recovery events: it rebuilds
+// the `restoreHosts(env, victims)` handler from the serialized victim list.
+func restoreHostsFactory(env *core.Env) func([]byte) (sim.Handler, error) {
+	return func(p []byte) (sim.Handler, error) {
+		hosts, err := payloadHosts(env, p)
+		if err != nil {
+			return nil, err
+		}
+		return func(sim.Time) { restoreHosts(env, hosts) }, nil
+	}
 }
 
 // evacuateHost reschedules every resident VM of a (failed or draining) host
@@ -92,12 +145,15 @@ type HostFailures struct {
 // Name implements core.Injector.
 func (HostFailures) Name() string { return "host-failures" }
 
+// FirstEffect reports the first instant the injection mutates run state.
+func (hf HostFailures) FirstEffect() sim.Time { return hf.At }
+
 // Inject implements core.Injector.
 func (hf HostFailures) Inject(env *core.Env) error {
 	if hf.Count < 0 || hf.Fraction < 0 || hf.Fraction > 1 {
 		return fmt.Errorf("host-failures: bad count=%d fraction=%g", hf.Count, hf.Fraction)
 	}
-	_, err := env.Engine.Schedule(hf.At, func(now sim.Time) {
+	fail := func(now sim.Time) {
 		var active []*esx.Host
 		for _, h := range env.Fleet.Hosts() {
 			if !h.Node.Maintenance {
@@ -133,11 +189,15 @@ func (hf HostFailures) Inject(env *core.Env) error {
 			evacuateHost(env, h, now)
 		}
 		if hf.Recover > 0 {
-			_, _ = env.Engine.Schedule(now+hf.Recover, func(sim.Time) {
-				restoreHosts(env, failed)
-			})
+			_, _ = env.ScheduleOwned(now+hf.Recover, "restore", hostsPayload(failed))
 		}
-	})
+	}
+	env.OnRestore("fail", func([]byte) (sim.Handler, error) { return fail, nil })
+	env.OnRestore("restore", restoreHostsFactory(env))
+	if env.Restoring() {
+		return nil
+	}
+	_, err := env.ScheduleOwned(hf.At, "fail", nil)
 	return err
 }
 
@@ -154,6 +214,9 @@ type AZOutage struct {
 // Name implements core.Injector.
 func (AZOutage) Name() string { return "az-outage" }
 
+// FirstEffect reports the first instant the injection mutates run state.
+func (o AZOutage) FirstEffect() sim.Time { return o.At }
+
 // Inject implements core.Injector.
 func (o AZOutage) Inject(env *core.Env) error {
 	azs := env.Region.AZs
@@ -161,7 +224,7 @@ func (o AZOutage) Inject(env *core.Env) error {
 		return fmt.Errorf("az-outage: region has no availability zones")
 	}
 	az := azs[((o.AZIndex%len(azs))+len(azs))%len(azs)]
-	_, err := env.Engine.Schedule(o.At, func(now sim.Time) {
+	outage := func(now sim.Time) {
 		var down []*esx.Host
 		for _, dc := range az.DCs {
 			for _, bb := range dc.BBs {
@@ -182,11 +245,15 @@ func (o AZOutage) Inject(env *core.Env) error {
 			evacuateHost(env, h, now)
 		}
 		if o.Duration > 0 {
-			_, _ = env.Engine.Schedule(now+o.Duration, func(sim.Time) {
-				restoreHosts(env, down)
-			})
+			_, _ = env.ScheduleOwned(now+o.Duration, "restore", hostsPayload(down))
 		}
-	})
+	}
+	env.OnRestore("outage", func([]byte) (sim.Handler, error) { return outage, nil })
+	env.OnRestore("restore", restoreHostsFactory(env))
+	if env.Restoring() {
+		return nil
+	}
+	_, err := env.ScheduleOwned(o.At, "outage", nil)
 	return err
 }
 
@@ -209,6 +276,9 @@ type MaintenanceDrain struct {
 // Name implements core.Injector.
 func (MaintenanceDrain) Name() string { return "maintenance-drain" }
 
+// FirstEffect reports the first instant the injection mutates run state.
+func (d MaintenanceDrain) FirstEffect() sim.Time { return d.At }
+
 // Inject implements core.Injector.
 func (d MaintenanceDrain) Inject(env *core.Env) error {
 	every := d.NodeEvery
@@ -229,20 +299,36 @@ func (d MaintenanceDrain) Inject(env *core.Env) error {
 		return fmt.Errorf("maintenance-drain: no drainable building blocks")
 	}
 	bb := candidates[((d.BBIndex%len(candidates))+len(candidates))%len(candidates)]
-	for i, node := range bb.Nodes {
-		h, err := env.Fleet.Host(node.ID)
+	hostAt := func(p []byte) (*esx.Host, error) {
+		i, err := payloadInt(p, len(bb.Nodes))
 		if err != nil {
-			return fmt.Errorf("maintenance-drain: %w", err)
+			return nil, err
 		}
+		return env.Fleet.Host(bb.Nodes[i].ID)
+	}
+	env.OnRestore("drain", func(p []byte) (sim.Handler, error) {
+		h, err := hostAt(p)
+		if err != nil {
+			return nil, err
+		}
+		return func(now sim.Time) { failNode(env, h, now) }, nil
+	})
+	env.OnRestore("undrain", func(p []byte) (sim.Handler, error) {
+		h, err := hostAt(p)
+		if err != nil {
+			return nil, err
+		}
+		return func(sim.Time) { restoreHosts(env, []*esx.Host{h}) }, nil
+	})
+	if env.Restoring() {
+		return nil
+	}
+	for i := range bb.Nodes {
 		drainAt := d.At + sim.Time(i)*every
-		if _, err := env.Engine.Schedule(drainAt, func(now sim.Time) {
-			failNode(env, h, now)
-		}); err != nil {
+		if _, err := env.ScheduleOwned(drainAt, "drain", intPayload(i)); err != nil {
 			return fmt.Errorf("maintenance-drain: %w", err)
 		}
-		if _, err := env.Engine.Schedule(drainAt+hold, func(sim.Time) {
-			restoreHosts(env, []*esx.Host{h})
-		}); err != nil {
+		if _, err := env.ScheduleOwned(drainAt+hold, "undrain", intPayload(i)); err != nil {
 			return fmt.Errorf("maintenance-drain: %w", err)
 		}
 	}
@@ -276,6 +362,9 @@ type CorrelatedFailures struct {
 // Name implements core.Injector.
 func (CorrelatedFailures) Name() string { return "correlated-failures" }
 
+// FirstEffect reports the first instant the injection mutates run state.
+func (cf CorrelatedFailures) FirstEffect() sim.Time { return cf.At }
+
 // Inject implements core.Injector.
 func (cf CorrelatedFailures) Inject(env *core.Env) error {
 	if cf.Fraction < 0 || cf.Fraction > 1 {
@@ -299,6 +388,9 @@ func (cf CorrelatedFailures) Inject(env *core.Env) error {
 	// All selection draws happen at injection time so the burst schedule is
 	// fixed up front: one zone for the whole campaign, then one victim
 	// block per burst, cycling through the zone's blocks in permuted order.
+	// A restoring assembly replays the identical draws, so the schedule —
+	// and each burst's private RNG, untouched until its burst fires —
+	// rebuilds without captured state.
 	rng := injectionStream(env, 0xc0221e1a^cf.Salt)
 	az := env.Region.AZs[rng.IntN(len(env.Region.AZs))]
 	var blocks []*topology.BuildingBlock
@@ -313,10 +405,11 @@ func (cf CorrelatedFailures) Inject(env *core.Env) error {
 		return fmt.Errorf("correlated-failures: zone %s has no failable building blocks", az.Name)
 	}
 	perm := rng.Perm(len(blocks))
+	burst := make([]sim.Handler, bursts)
 	for i := 0; i < bursts; i++ {
 		bb := blocks[perm[i%len(blocks)]]
 		burstRNG := rand.New(rand.NewPCG(env.Config.Seed, 0xb325^cf.Salt^uint64(i)))
-		if _, err := env.Engine.Schedule(cf.At+sim.Time(i)*spacing, func(now sim.Time) {
+		burst[i] = func(now sim.Time) {
 			var active []*esx.Host
 			for _, h := range env.Fleet.HostsInBB(bb) {
 				if !h.Node.Maintenance {
@@ -346,11 +439,23 @@ func (cf CorrelatedFailures) Inject(env *core.Env) error {
 				evacuateHost(env, h, now)
 			}
 			if cf.Recover > 0 {
-				_, _ = env.Engine.Schedule(now+cf.Recover, func(sim.Time) {
-					restoreHosts(env, failed)
-				})
+				_, _ = env.ScheduleOwned(now+cf.Recover, "restore", hostsPayload(failed))
 			}
-		}); err != nil {
+		}
+	}
+	env.OnRestore("burst", func(p []byte) (sim.Handler, error) {
+		i, err := payloadInt(p, bursts)
+		if err != nil {
+			return nil, err
+		}
+		return burst[i], nil
+	})
+	env.OnRestore("restore", restoreHostsFactory(env))
+	if env.Restoring() {
+		return nil
+	}
+	for i := 0; i < bursts; i++ {
+		if _, err := env.ScheduleOwned(cf.At+sim.Time(i)*spacing, "burst", intPayload(i)); err != nil {
 			return fmt.Errorf("correlated-failures: %w", err)
 		}
 	}
@@ -392,6 +497,14 @@ type CascadingFailures struct {
 
 // Name implements core.Injector.
 func (CascadingFailures) Name() string { return "cascading-failures" }
+
+// FirstEffect reports the first instant the injection mutates run state.
+func (cf CascadingFailures) FirstEffect() sim.Time {
+	if cf.Start > 0 {
+		return cf.Start
+	}
+	return sim.Day
+}
 
 // hazard is the per-evaluation failure probability at a given load
 // fraction, capped at 1.
@@ -454,8 +567,13 @@ func (cf CascadingFailures) Inject(env *core.Env) error {
 		every = sim.Hour
 	}
 	// One stream for the whole campaign, drawn in host-ID order each
-	// round, keeps the cascade bit-for-bit deterministic per seed.
-	rng := injectionStream(env, 0xca5cade^cf.Salt)
+	// round, keeps the cascade bit-for-bit deterministic per seed. The
+	// stream stays live across evaluations, so it is registered for
+	// snapshot capture (same construction as injectionStream, with the
+	// source kept for state marshaling).
+	src := rand.NewPCG(env.Config.Seed, 0x5ce7a110^(0xca5cade^cf.Salt))
+	rng := rand.New(src)
+	env.RegisterRNG("hazard", src)
 	end := start + duration
 	var evaluate func(now sim.Time)
 	evaluate = func(now sim.Time) {
@@ -484,16 +602,18 @@ func (cf CascadingFailures) Inject(env *core.Env) error {
 			evacuateHost(env, h, now)
 		}
 		if cf.Recover > 0 && len(failed) > 0 {
-			victims := failed
-			_, _ = env.Engine.Schedule(now+cf.Recover, func(sim.Time) {
-				restoreHosts(env, victims)
-			})
+			_, _ = env.ScheduleOwned(now+cf.Recover, "restore", hostsPayload(failed))
 		}
 		if next := now + every; next < end {
-			_, _ = env.Engine.Schedule(next, evaluate)
+			_, _ = env.ScheduleOwned(next, "eval", nil)
 		}
 	}
-	_, err := env.Engine.Schedule(start, evaluate)
+	env.OnRestore("eval", func([]byte) (sim.Handler, error) { return evaluate, nil })
+	env.OnRestore("restore", restoreHostsFactory(env))
+	if env.Restoring() {
+		return nil
+	}
+	_, err := env.ScheduleOwned(start, "eval", nil)
 	return err
 }
 
@@ -519,6 +639,11 @@ type CapacityExpansion struct {
 
 // Name implements core.Injector.
 func (CapacityExpansion) Name() string { return "capacity-expansion" }
+
+// FirstEffect reports the first instant the injection mutates run state.
+// A capacity expansion mutates the topology at injection time (blocks are
+// pre-built out of service), so there is no injection-free warm prefix.
+func (CapacityExpansion) FirstEffect() sim.Time { return 0 }
 
 // Inject implements core.Injector. The blocks are created here, at
 // injection time — where topology errors (duplicate IDs from two
@@ -558,6 +683,7 @@ func (ce CapacityExpansion) Inject(env *core.Env) error {
 	if template == nil {
 		return fmt.Errorf("capacity-expansion: DC %s has no general-purpose block to clone", dc.Name)
 	}
+	bbs := make([]*topology.BuildingBlock, blocks)
 	for i := 0; i < blocks; i++ {
 		// Salt in the ID keeps two differently-salted expansions of the
 		// same DC from colliding.
@@ -566,11 +692,19 @@ func (ce CapacityExpansion) Inject(env *core.Env) error {
 		if err != nil {
 			return fmt.Errorf("capacity-expansion: %w", err)
 		}
+		bbs[i] = bb
 		for _, n := range bb.Nodes {
 			env.Fleet.AddHost(n)
 			env.TakeDown(n) // undelivered: invisible until arrival
 		}
-		if _, err := env.Engine.Schedule(ce.At+sim.Time(i)*every, func(sim.Time) {
+	}
+	env.OnRestore("arrive", func(p []byte) (sim.Handler, error) {
+		i, err := payloadInt(p, blocks)
+		if err != nil {
+			return nil, err
+		}
+		bb := bbs[i]
+		return func(sim.Time) {
 			for _, n := range bb.Nodes {
 				env.BringUp(n)
 			}
@@ -578,7 +712,22 @@ func (ce CapacityExpansion) Inject(env *core.Env) error {
 			// ID), so registration reduces to CreateProvider and cannot
 			// fail; RegisterBB still degrades to a refresh defensively.
 			_ = env.Scheduler.RegisterBB(bb)
-		}); err != nil {
+		}, nil
+	})
+	if env.Restoring() {
+		// Blocks whose arrival predates the snapshot already joined the
+		// placement service; re-register them now. Service state and
+		// inventory come from the restore overlay, which runs after every
+		// restoring injection.
+		for i, bb := range bbs {
+			if ce.At+sim.Time(i)*every <= env.RestoreAt() {
+				_ = env.Scheduler.RegisterBB(bb)
+			}
+		}
+		return nil
+	}
+	for i := 0; i < blocks; i++ {
+		if _, err := env.ScheduleOwned(ce.At+sim.Time(i)*every, "arrive", intPayload(i)); err != nil {
 			return fmt.Errorf("capacity-expansion: %w", err)
 		}
 	}
@@ -601,12 +750,15 @@ type ResizeWave struct {
 // Name implements core.Injector.
 func (ResizeWave) Name() string { return "resize-wave" }
 
+// FirstEffect reports the first instant the injection mutates run state.
+func (w ResizeWave) FirstEffect() sim.Time { return w.At }
+
 // Inject implements core.Injector.
 func (w ResizeWave) Inject(env *core.Env) error {
 	if w.Count < 0 || w.Fraction < 0 || w.Fraction > 1 {
 		return fmt.Errorf("resize-wave: bad count=%d fraction=%g", w.Count, w.Fraction)
 	}
-	_, err := env.Engine.Schedule(w.At, func(now sim.Time) {
+	wave := func(now sim.Time) {
 		live := env.Live()
 		n := w.Count
 		if n == 0 {
@@ -633,6 +785,11 @@ func (w ResizeWave) Inject(env *core.Env) error {
 			env.Record(events.Event{At: now, Type: events.Resize,
 				VM: string(vm.ID), Flavor: target.Name, Target: string(vm.Node.ID)})
 		}
-	})
+	}
+	env.OnRestore("wave", func([]byte) (sim.Handler, error) { return wave, nil })
+	if env.Restoring() {
+		return nil
+	}
+	_, err := env.ScheduleOwned(w.At, "wave", nil)
 	return err
 }

@@ -327,6 +327,67 @@ func (st *Store) SampleCount() int {
 	return n
 }
 
+// SeriesData is the serializable form of one series: the metric, the label
+// pairs, and the samples. A store dumped and re-loaded behaves identically —
+// including the per-metric creation order Select's determinism rests on.
+type SeriesData struct {
+	Metric  string
+	Labels  []string // flattened name/value pairs, sorted by name
+	Samples []Sample
+}
+
+// Dump snapshots every series in global creation order. Together with Load
+// it round-trips a store through a snapshot.
+func (st *Store) Dump() []SeriesData {
+	type hit struct {
+		seq uint64
+		d   SeriesData
+	}
+	var hits []hit
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for _, chain := range sh.series {
+			for _, s := range chain {
+				samples := make([]Sample, len(s.samples))
+				copy(samples, s.samples)
+				hits = append(hits, hit{seq: s.seq, d: SeriesData{
+					Metric: s.metric, Labels: s.labels.Pairs(), Samples: samples,
+				}})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].seq < hits[j].seq })
+	out := make([]SeriesData, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, h.d)
+	}
+	return out
+}
+
+// Load replays a Dump into an empty store, recreating every series in the
+// dumped order so creation sequence — and with it Select order — survives
+// the round trip.
+func (st *Store) Load(data []SeriesData) error {
+	if st.SeriesCount() != 0 {
+		return errors.New("telemetry: Load into a non-empty store")
+	}
+	for _, d := range data {
+		labels, err := NewLabels(d.Labels...)
+		if err != nil {
+			return fmt.Errorf("telemetry: load %s: %w", d.Metric, err)
+		}
+		hash := hashSeries(d.Metric, labels)
+		sh := st.shardFor(hash)
+		sh.mu.Lock()
+		s := st.getOrCreate(sh, hash, d.Metric, labels)
+		s.samples = append(s.samples[:0], d.Samples...)
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
 // Querier is the read side of the store: the interface the analysis layer
 // and the PromQL evaluator consume, decoupling them from the concrete
 // sharded implementation.

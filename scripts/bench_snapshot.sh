@@ -71,14 +71,17 @@ snapshot() {
 		run_suite ./internal/sim . 200ms "$tsv"
 		run_suite ./internal/nova . 200ms "$tsv"
 		run_suite . 'BenchmarkFullCell$' 3x "$tsv"
+		run_suite . 'BenchmarkSnapshotEncode$|BenchmarkRestore$' 3x "$tsv"
 	else
 		run_suite ./internal/sim . 1s "$tsv"
 		run_suite ./internal/nova . 1s "$tsv"
 		run_suite ./internal/telemetry . 1s "$tsv"
 		run_suite ./internal/promql . 1s "$tsv"
 		run_suite ./internal/scenario 'BenchmarkSweep$' 3x "$tsv"
+		run_suite ./internal/scenario 'BenchmarkWarmVsColdSweep' 3x "$tsv"
 		run_suite . 'BenchmarkFigure|BenchmarkTable' 3x "$tsv"
 		run_suite . 'BenchmarkFullCell$' 5x "$tsv"
+		run_suite . 'BenchmarkSnapshotEncode$|BenchmarkRestore$' 5x "$tsv"
 		if [ "$full" = 1 ]; then
 			run_suite . 'BenchmarkAblation' 1x "$tsv"
 		fi

@@ -175,6 +175,7 @@ type sessionOptions struct {
 	observers       []Observer
 	policyNames     []string
 	checkpointEvery sim.Time
+	snapshotEvery   sim.Time
 	incremental     bool
 	incrementalIDs  map[string]bool
 }
@@ -288,9 +289,18 @@ type Session struct {
 	sim  *core.Simulation
 	disp *dispatcher
 
+	// name labels a branch session produced by Fork.
+	name string
+	// resume, when set, makes Build restore this snapshot instead of
+	// assembling at t=0.
+	resume *Snapshot
+
 	lastCheckpoint Checkpoint
 	hasCheckpoint  bool
 	nextCheckpoint sim.Time
+
+	lastSnapshot *Snapshot
+	nextSnapshot sim.Time
 
 	// migrations counts every migration hook firing (all kinds); written
 	// and read on the driving goroutine only.
@@ -386,13 +396,28 @@ func (s *Session) Build() error {
 	if s.disp != nil || s.opts.checkpointEvery > 0 || s.opts.incremental {
 		hooks.OnTick = s.onTick
 	}
-	simulation, err := core.NewSimulation(s.cfg, hooks)
+	var simulation *core.Simulation
+	var err error
+	if s.resume != nil {
+		simulation, err = core.RestoreSimulation(s.cfg, hooks, s.resume)
+	} else {
+		simulation, err = core.NewSimulation(s.cfg, hooks)
+	}
 	if err != nil {
 		s.fail(err)
 		return err
 	}
 	s.sim = simulation
-	s.nextCheckpoint = s.opts.checkpointEvery
+	// Cadences count from the run's starting point: t=0 for a cold build,
+	// the snapshot time for a resumed one.
+	base := sim.Time(0)
+	if s.resume != nil {
+		base = s.resume.At
+	}
+	s.nextCheckpoint = base + s.opts.checkpointEvery
+	if s.opts.snapshotEvery > 0 {
+		s.nextSnapshot = base + s.opts.snapshotEvery
+	}
 	if s.opts.incremental {
 		s.pending = make(map[Stage][]Experiment)
 		for _, exp := range Experiments() {
@@ -461,24 +486,51 @@ func (s *Session) RunToCompletion() error {
 }
 
 // advance drives the engine to target simulated time, routing context
-// cancellation and engine errors to the terminal states.
+// cancellation and engine errors to the terminal states. With a snapshot
+// cadence configured the span is segmented at each boundary: the engine is
+// idle between segments, which is the only place a consistent snapshot can
+// be captured. A boundary on the horizon itself is skipped — reaching the
+// horizon finalizes the run.
 func (s *Session) advance(target sim.Time) error {
 	var interrupt func() error
 	if ctx := s.opts.ctx; ctx != nil {
 		interrupt = ctx.Err
 	}
-	if err := s.sim.AdvanceTo(target, interrupt); err != nil {
-		if s.opts.ctx != nil && errors.Is(err, s.opts.ctx.Err()) {
-			s.cancel(err)
-		} else {
-			s.fail(err)
+	if every := s.opts.snapshotEvery; every > 0 {
+		for s.nextSnapshot <= target && s.nextSnapshot < s.cfg.Horizon() {
+			boundary := s.nextSnapshot
+			if boundary > s.sim.Now() {
+				if err := s.sim.AdvanceTo(boundary, interrupt); err != nil {
+					return s.abort(err)
+				}
+			}
+			snap, err := s.sim.Snapshot()
+			if err != nil {
+				return s.abort(err)
+			}
+			s.lastSnapshot = snap
+			s.publish(SnapshotReady{At: boundary, Snapshot: snap})
+			s.nextSnapshot = boundary + every
 		}
-		return err
+	}
+	if err := s.sim.AdvanceTo(target, interrupt); err != nil {
+		return s.abort(err)
 	}
 	if s.sim.Done() {
 		s.finish()
 	}
 	return nil
+}
+
+// abort routes a driving-loop error to the matching terminal state and
+// returns it.
+func (s *Session) abort(err error) error {
+	if s.opts.ctx != nil && errors.Is(err, s.opts.ctx.Err()) {
+		s.cancel(err)
+	} else {
+		s.fail(err)
+	}
+	return err
 }
 
 // Result returns the finished run. It errors until the session reaches
