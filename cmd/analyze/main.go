@@ -6,11 +6,21 @@
 //
 //	analyze -i dataset.csv [-days N] [-fig fig9]
 //	analyze -scrape URL[,URL...] -query EXPR
+//	analyze -record DIR -scrape URL[,URL...] [-every D] [-for D]
+//	analyze -fleet DIR
+//	analyze -critpath trace.json
 //
 // With -scrape, analyze pulls live Prometheus exposition endpoints (a
 // dispatchd's and any simworker -metrics listeners) into a fresh telemetry
 // store instead of loading a CSV, and answers -query against the fleet's
 // current state — e.g. `sum(dispatch_queue_jobs)` mid-sweep.
+//
+// With -record, the same endpoints are polled continuously — the fleet
+// flight recorder — appending every sample to DIR/fleet.csv until
+// interrupted (or -for elapses). -fleet replays such a recording into
+// queue-depth and worker-utilization timelines; -critpath analyzes a
+// Chrome trace exported by sweep/dispatchd -trace: critical path through
+// the slowest cell plus a per-phase latency breakdown.
 package main
 
 import (
@@ -43,8 +53,34 @@ func main() {
 		oc      = flag.Bool("recommend-overcommit", false, "derive a workload-based vCPU:pCPU overcommit factor (Sec. 7 guidance)")
 		scrapes = flag.String("scrape", "", "comma-separated /metrics URLs to scrape into the store instead of reading -i")
 		timeout = flag.Duration("timeout", 0, "wall-clock limit for load + analysis (0 = none)")
+		record  = flag.String("record", "", "flight-recorder mode: poll -scrape targets into DIR/fleet.csv until interrupted")
+		every   = flag.Duration("every", time.Second, "polling cadence for -record")
+		forDur  = flag.Duration("for", 0, "stop -record after this long (0 = until interrupted)")
+		fleet   = flag.String("fleet", "", "render queue-depth and worker-utilization timelines from a flight recording (dir or CSV)")
+		crit    = flag.String("critpath", "", "critical-path and per-phase latency analysis of an exported Chrome trace")
 	)
 	flag.Parse()
+
+	switch {
+	case *crit != "":
+		if err := runCritpath(*crit); err != nil {
+			fatal(err)
+		}
+		return
+	case *fleet != "":
+		if err := runFleet(*fleet); err != nil {
+			fatal(err)
+		}
+		return
+	case *record != "":
+		if *scrapes == "" {
+			fatal(fmt.Errorf("-record needs -scrape targets"))
+		}
+		if err := runRecord(*record, *scrapes, *every, *forDur); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	// The analysis pipeline is a straight-line batch job with no run loop
 	// to interrupt, so the timeout is a watchdog over the whole process.

@@ -18,8 +18,14 @@
 //
 //	dispatchd -dir DIR [-addr :9090] [-scale F] [-vms N] [-days N] \
 //	          [-sample D] [-scenarios a,b] [-variants x,y] [-seeds 7,11] \
-//	          [-checkpoint D] [-lease D] [-timeout D] [-out DIR] [-bundle DIR]
+//	          [-checkpoint D] [-lease D] [-timeout D] [-out DIR] [-bundle DIR] \
+//	          [-trace FILE] [-pprof ADDR]
 //	dispatchd -dir DIR -resume [-addr :9090] [-lease D] [-timeout D]
+//
+// -trace exports the drained sweep's cell-lifecycle trace (Chrome
+// trace-event JSON reconstructed from the journal, including worker-shipped
+// engine-phase spans); -pprof serves net/http/pprof on its own listener for
+// profiling the daemon mid-sweep.
 package main
 
 import (
@@ -36,8 +42,10 @@ import (
 	"sapsim/internal/core"
 	"sapsim/internal/dispatch"
 	"sapsim/internal/fleetmetrics"
+	"sapsim/internal/pprofserve"
 	"sapsim/internal/scenario"
 	"sapsim/internal/sim"
+	"sapsim/internal/trace"
 )
 
 func main() {
@@ -57,6 +65,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the whole sweep (0 = none)")
 		out        = flag.String("out", "", "report directory (default: -dir)")
 		bundle     = flag.String("bundle", "", "materialize the digest-verified report bundle into this directory once drained")
+		traceOut   = flag.String("trace", "", "export the sweep's cell-lifecycle trace (Chrome trace-event JSON, Perfetto-loadable) to this file once drained")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof at this address (e.g. 127.0.0.1:6060; empty = off)")
 		progress   = flag.Bool("progress", true, "log queue transitions to stderr")
 	)
 	flag.Parse()
@@ -66,6 +76,13 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *pprofAddr != "" {
+		bound, err := pprofserve.Serve(*pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dispatchd: pprof at http://%s/debug/pprof/\n", bound)
+	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -147,6 +164,25 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("materialized report bundle in %s\n", *bundle)
+	}
+
+	if *traceOut != "" {
+		spans, err := dispatch.TraceFromJournal(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteChromeTrace(f, spans); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote trace (%d spans) to %s — load it at https://ui.perfetto.dev\n", len(spans), *traceOut)
 	}
 
 	for _, r := range res.Runs {

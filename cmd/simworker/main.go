@@ -39,6 +39,7 @@ import (
 
 	"sapsim/internal/dispatch"
 	"sapsim/internal/fleetmetrics"
+	"sapsim/internal/pprofserve"
 )
 
 func main() {
@@ -50,6 +51,7 @@ func main() {
 		poll       = flag.Duration("poll", 500*time.Millisecond, "idle re-poll interval when no cell is free")
 		timeout    = flag.Duration("timeout", 0, "wall-clock limit (0 = run until drained)")
 		metrics    = flag.String("metrics", "", "serve Prometheus metrics at this address (e.g. 127.0.0.1:9191; empty = off)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof at this address (e.g. 127.0.0.1:6061; empty = off)")
 		snapshots  = flag.Bool("snapshots", true, "upload mid-run engine snapshots so a re-booked cell warm-resumes instead of restarting from t=0")
 		quiet      = flag.Bool("quiet", false, "suppress per-cell progress lines")
 	)
@@ -61,6 +63,14 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *pprofAddr != "" {
+		bound, err := pprofserve.Serve(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simworker: pprof listener:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "simworker: pprof at http://%s/debug/pprof/\n", bound)
+	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)

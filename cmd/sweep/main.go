@@ -23,7 +23,15 @@
 //	sweep [-scale F] [-vms N] [-days N] [-sample D] \
 //	      [-scenarios a,b,...] [-variants x,y,...] [-seeds 7,11,...] \
 //	      [-workers N] [-timeout D] [-out DIR] [-diff] [-list] [-branch] \
-//	      [-dispatch ADDR] [-resume DIR] [-journal DIR] [-bundle DIR]
+//	      [-dispatch ADDR] [-resume DIR] [-journal DIR] [-bundle DIR] \
+//	      [-trace FILE]
+//
+// -trace FILE exports the sweep's cell-lifecycle trace as Chrome
+// trace-event JSON (load it at https://ui.perfetto.dev): per cell, a root
+// span covering queued→done with queue-wait and per-attempt child spans.
+// In the dispatched and resumed modes the trace reconstructs from the
+// journal and includes every worker-shipped engine-phase span; all three
+// modes emit the same span identity scheme.
 //
 // Scenario and variant names come from the builtin libraries; -list prints
 // them. Runs are fully deterministic per seed, independent of -workers and
@@ -48,6 +56,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -57,6 +66,7 @@ import (
 	"sapsim/internal/dispatch"
 	"sapsim/internal/scenario"
 	"sapsim/internal/sim"
+	"sapsim/internal/trace"
 )
 
 func main() {
@@ -80,6 +90,7 @@ func main() {
 		checkpoint   = flag.Duration("checkpoint", 6*time.Hour, "simulated-time checkpoint cadence for dispatched workers")
 		branch       = flag.Bool("branch", false, "warm-fork cells sharing a (variant, seed) from one snapshot of their common prefix (in-process mode only; byte-identical to a cold sweep)")
 		bundleDir    = flag.String("bundle", "", "materialize a digest-verified report bundle (artifact bodies included) into this directory")
+		traceOut     = flag.String("trace", "", "export the sweep's cell-lifecycle trace (Chrome trace-event JSON, Perfetto-loadable) to this file")
 	)
 	flag.Parse()
 
@@ -124,11 +135,11 @@ func main() {
 	start := time.Now()
 	switch {
 	case *resumeDir != "":
-		res, err = resumeSweep(ctx, *resumeDir, *dispatchTo, *workers, *progress, *bundleDir)
+		res, err = resumeSweep(ctx, *resumeDir, *dispatchTo, *workers, *progress, *bundleDir, *traceOut)
 	case *dispatchTo != "":
-		res, err = serveSweep(ctx, parseSpec(), *dispatchTo, pickJournalDir(*journalDir, *out), *progress, *bundleDir)
+		res, err = serveSweep(ctx, parseSpec(), *dispatchTo, pickJournalDir(*journalDir, *out), *progress, *bundleDir, *traceOut)
 	default:
-		res, err = localSweep(ctx, parseSpec(), *workers, *diff, *progress, *branch, *bundleDir)
+		res, err = localSweep(ctx, parseSpec(), *workers, *diff, *progress, *branch, *bundleDir, *traceOut)
 	}
 	if err != nil {
 		fatal(err)
@@ -178,7 +189,7 @@ func main() {
 // byte-identical to the bundle a dispatched sweep of the same matrix
 // produces.
 func localSweep(ctx context.Context, spec dispatch.Spec, workers int,
-	fingerprint, progress, branch bool, bundleDir string) (*scenario.SweepResult, error) {
+	fingerprint, progress, branch bool, bundleDir, traceFile string) (*scenario.SweepResult, error) {
 	m, err := spec.Matrix()
 	if err != nil {
 		return nil, err
@@ -213,13 +224,26 @@ func localSweep(ctx context.Context, spec dispatch.Spec, workers int,
 		}
 	}
 	total := len(m.Scenarios) * len(m.Variants) * len(m.Seeds)
+	var callbacks []func(scenario.CellUpdate)
+	var tracer *localTracer
+	if traceFile != "" {
+		tracer = newLocalTracer()
+		callbacks = append(callbacks, tracer.onCell)
+	}
 	if progress {
 		var done atomic.Int64
-		m.OnCell = func(u scenario.CellUpdate) {
+		callbacks = append(callbacks, func(u scenario.CellUpdate) {
 			switch u.State {
 			case scenario.CellFinished, scenario.CellFailed, scenario.CellCanceled:
 				fmt.Fprintf(os.Stderr, "sweep: [%d/%d] %s/%s seed %d: %s\n",
 					done.Add(1), total, u.Key.Scenario, u.Key.Variant, u.Key.Seed, u.State)
+			}
+		})
+	}
+	if len(callbacks) > 0 {
+		m.OnCell = func(u scenario.CellUpdate) {
+			for _, cb := range callbacks {
+				cb(u)
 			}
 		}
 	}
@@ -234,13 +258,86 @@ func localSweep(ctx context.Context, spec dispatch.Spec, workers int,
 			return nil, err
 		}
 	}
+	if tracer != nil {
+		if err := exportSpans(traceFile, tracer.spans()); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
+}
+
+// localTracer derives the in-process sweep's cell-lifecycle spans from
+// OnCell callbacks, using the same trace and span IDs the dispatched
+// modes derive from the journal — the exported trace looks identical in
+// Perfetto regardless of execution mode.
+type localTracer struct {
+	mu    sync.Mutex
+	start time.Time
+	cells map[int]*localCell
+}
+
+type localCell struct {
+	key        scenario.Key
+	start, end time.Time
+	outcome    string
+}
+
+func newLocalTracer() *localTracer {
+	return &localTracer{start: time.Now(), cells: map[int]*localCell{}}
+}
+
+// onCell runs on the sweep's worker goroutines; keep it cheap.
+func (lt *localTracer) onCell(u scenario.CellUpdate) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	c := lt.cells[u.Index]
+	if c == nil {
+		c = &localCell{key: u.Key}
+		lt.cells[u.Index] = c
+	}
+	switch u.State {
+	case scenario.CellStarted:
+		c.start = time.Now()
+	case scenario.CellFinished:
+		c.end, c.outcome = time.Now(), "done"
+	case scenario.CellFailed:
+		c.end, c.outcome = time.Now(), "failed"
+	case scenario.CellCanceled:
+		c.end, c.outcome = time.Now(), "canceled"
+	}
+}
+
+func (lt *localTracer) spans() []trace.Span {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	var out []trace.Span
+	for idx, c := range lt.cells {
+		start, end := c.start, c.end
+		if start.IsZero() {
+			start = lt.start
+		}
+		if end.IsZero() {
+			end = start
+		}
+		tid := dispatch.CellTraceID(c.key)
+		cell := fmt.Sprintf("cell-%d", idx)
+		out = append(out,
+			trace.Span{Trace: tid, ID: cell, Name: "cell",
+				Start: trace.Micros(lt.start), End: trace.Micros(end)},
+			trace.Span{Trace: tid, ID: cell + "/q1", Parent: cell, Name: "queue-wait",
+				Start: trace.Micros(lt.start), End: trace.Micros(start)},
+			trace.Span{Trace: tid, ID: cell + "/a1", Parent: cell, Name: "attempt",
+				Start: trace.Micros(start), End: trace.Micros(end),
+				Attrs: map[string]string{"worker": "in-process", "outcome": c.outcome}},
+		)
+	}
+	return out
 }
 
 // serveSweep is the dispatcher path: journal the matrix and serve it to
 // external simworkers until drained.
 func serveSweep(ctx context.Context, spec dispatch.Spec, addr, journalDir string,
-	progress bool, bundleDir string) (*scenario.SweepResult, error) {
+	progress bool, bundleDir, traceFile string) (*scenario.SweepResult, error) {
 	q, err := dispatch.NewQueue(journalDir, spec, dispatch.QueueOptions{})
 	if err != nil {
 		return nil, err
@@ -250,6 +347,9 @@ func serveSweep(ctx context.Context, spec dispatch.Spec, addr, journalDir string
 	if err == nil && bundleDir != "" {
 		err = writeBundle(bundleDir, res, q.Store())
 	}
+	if err == nil && traceFile != "" {
+		err = exportJournalTrace(traceFile, q.Dir())
+	}
 	return res, err
 }
 
@@ -258,7 +358,7 @@ func serveSweep(ctx context.Context, spec dispatch.Spec, addr, journalDir string
 // workers re-upload any artifact bodies the resume audit found missing or
 // damaged, so the bundle that materializes afterward is complete.
 func resumeSweep(ctx context.Context, dir, addr string, workers int,
-	progress bool, bundleDir string) (*scenario.SweepResult, error) {
+	progress bool, bundleDir, traceFile string) (*scenario.SweepResult, error) {
 	q, err := dispatch.Resume(dir, dispatch.QueueOptions{})
 	if err != nil {
 		return nil, err
@@ -278,7 +378,39 @@ func resumeSweep(ctx context.Context, dir, addr string, workers int,
 	if err == nil && bundleDir != "" {
 		err = writeBundle(bundleDir, res, q.Store())
 	}
+	if err == nil && traceFile != "" {
+		err = exportJournalTrace(traceFile, q.Dir())
+	}
 	return res, err
+}
+
+// exportJournalTrace reconstructs the sweep's full trace from the
+// journal (dispatcher-derived lifecycle spans merged with every
+// worker-shipped engine span) and exports it as Chrome trace-event JSON.
+func exportJournalTrace(path, journalDir string) error {
+	spans, err := dispatch.TraceFromJournal(journalDir)
+	if err != nil {
+		return err
+	}
+	return exportSpans(path, spans)
+}
+
+// exportSpans writes spans as a Chrome trace-event file.
+func exportSpans(path string, spans []trace.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep: wrote trace (%d spans) to %s — load it at https://ui.perfetto.dev\n",
+		len(spans), path)
+	return nil
 }
 
 // writeBundle materializes the report bundle and prints what landed.

@@ -61,7 +61,11 @@ import (
 // Version 3 added mid-run snapshot records: workers upload encoded engine
 // snapshots into the store and journal a pointer, so a re-booked cell
 // resumes from the newest intact snapshot instead of t=0.
-const FormatVersion = 3
+// Version 4 added wall-clock timestamps on every record plus span records
+// (worker-side trace spans journaled next to the state transitions they
+// annotate), so a finished or crashed sweep's full cell-lifecycle trace is
+// reconstructable from the journal alone.
+const FormatVersion = 4
 
 // ConfigSpec is the serializable subset of core.Config — the knobs the
 // sweep CLIs vary. Config reconstructs a full core.Config from it on the

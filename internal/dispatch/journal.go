@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"sapsim/internal/trace"
 )
 
 // JournalName is the journal file inside a sweep directory.
@@ -20,6 +22,12 @@ const JournalName = "journal.jsonl"
 // line (the write the crash interrupted) is detected and dropped.
 type journalRecord struct {
 	T string `json:"t"`
+
+	// TS is the record's wall-clock time in microseconds since the Unix
+	// epoch (the queue clock, mockable in tests). It is what lets
+	// TraceFromJournal rebuild the dispatcher-side spans — queue wait,
+	// attempts, lease renewals — of a sweep that already happened.
+	TS int64 `json:"ts,omitempty"`
 
 	// header
 	Version int   `json:"v,omitempty"`
@@ -50,6 +58,13 @@ type journalRecord struct {
 	// (size intact, content re-hashes differently).
 	Digest string `json:"digest,omitempty"`
 	Size   int64  `json:"size,omitempty"`
+
+	// span: one worker-side trace span (engine phase, snapshot encode,
+	// artifact upload) shipped alongside a heartbeat or completion for
+	// Job. Spans are facts about the past, never replayed into queue
+	// state; TraceFromJournal merges them with the dispatcher-derived
+	// lifecycle spans.
+	Span *trace.Span `json:"span,omitempty"`
 }
 
 const (
@@ -59,6 +74,7 @@ const (
 	recResult     = "result"
 	recArtifact   = "artifact"
 	recSnapshot   = "snapshot"
+	recSpan       = "span"
 )
 
 // journalWriter appends records to the WAL. Callers serialize access (the
@@ -71,7 +87,7 @@ type journalWriter struct {
 	countFsync    func()
 }
 
-func createJournal(dir string, spec Spec) (*journalWriter, error) {
+func createJournal(dir string, spec Spec, ts int64) (*journalWriter, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("dispatch: journal dir: %w", err)
 	}
@@ -81,7 +97,7 @@ func createJournal(dir string, spec Spec) (*journalWriter, error) {
 		return nil, fmt.Errorf("dispatch: creating journal (use Resume for an existing sweep dir): %w", err)
 	}
 	w := &journalWriter{f: f}
-	if err := w.append(journalRecord{T: recHeader, Version: FormatVersion, Spec: &spec}); err != nil {
+	if err := w.append(journalRecord{T: recHeader, TS: ts, Version: FormatVersion, Spec: &spec}); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -162,8 +178,11 @@ func (w *journalWriter) close() error {
 
 // replayedJournal is the parsed content of a WAL.
 type replayedJournal struct {
-	spec    Spec
-	records []journalRecord
+	spec Spec
+	// headerTS is the sweep's creation time (microseconds) — the instant
+	// every cell entered the queue.
+	headerTS int64
+	records  []journalRecord
 	// torn reports that the final line was truncated mid-write (process
 	// killed during an append) and was dropped.
 	torn bool
@@ -215,6 +234,7 @@ func replayJournal(path string) (*replayedJournal, error) {
 				}
 				out.spec = *rec.Spec
 				out.spec.normalize()
+				out.headerTS = rec.TS
 				sawHeader = true
 			default:
 				out.records = append(out.records, rec)

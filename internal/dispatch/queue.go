@@ -9,6 +9,7 @@ import (
 
 	"sapsim/internal/artifact"
 	"sapsim/internal/scenario"
+	"sapsim/internal/trace"
 )
 
 // Job is one cell of the sweep matrix in the queue. Jobs live in
@@ -104,7 +105,7 @@ func NewQueue(dir string, spec Spec, opts QueueOptions) (*Queue, error) {
 		return nil, err
 	}
 	opts.fill()
-	w, err := createJournal(dir, spec)
+	w, err := createJournal(dir, spec, opts.now().UnixMicro())
 	if err != nil {
 		return nil, err
 	}
@@ -200,6 +201,9 @@ func Resume(dir string, opts QueueOptions) (*Queue, error) {
 				continue
 			}
 			j.LastSnapshot = rec.Snapshot
+		case recSpan:
+			// Trace spans are observability facts, not queue state; the
+			// replay carries no effect (TraceFromJournal reads them).
 		case recResult:
 			if rec.Run == nil {
 				replay.skipped++
@@ -422,7 +426,8 @@ func (q *Queue) Close() error {
 }
 
 func (q *Queue) appendStateLocked(j *Job) error {
-	rec := journalRecord{T: recState, Job: j.ID, State: j.State.String(),
+	rec := journalRecord{T: recState, TS: q.opts.now().UnixMicro(),
+		Job: j.ID, State: j.State.String(),
 		Worker: j.Worker, Attempt: j.Attempt}
 	if !j.Lease.IsZero() && (j.State == JobBooked || j.State == JobRunning) {
 		rec.Lease = leaseStamp(j.Lease)
@@ -478,7 +483,8 @@ func (q *Queue) appendResultLocked(j *Job) error {
 	if q.journal == nil {
 		return errors.New("dispatch: queue closed")
 	}
-	return q.journal.appendDurable(journalRecord{T: recResult, Job: j.ID, Worker: j.Worker, Run: j.Run})
+	return q.journal.appendDurable(journalRecord{T: recResult, TS: q.opts.now().UnixMicro(),
+		Job: j.ID, Worker: j.Worker, Run: j.Run})
 }
 
 // Book leases the next queued job to the worker. Capacity is the worker's
@@ -579,7 +585,8 @@ func (q *Queue) Progress(jobID int, worker string, attempt int, ckpt *Checkpoint
 		if q.journal == nil {
 			return errors.New("dispatch: queue closed")
 		}
-		return q.journal.append(journalRecord{T: recCheckpoint, Job: j.ID, Worker: worker, Checkpoint: ckpt})
+		return q.journal.append(journalRecord{T: recCheckpoint, TS: now.UnixMicro(),
+			Job: j.ID, Worker: worker, Checkpoint: ckpt})
 	}
 	return nil
 }
@@ -611,7 +618,8 @@ func (q *Queue) RecordSnapshot(jobID int, worker string, attempt int, rec Snapsh
 	if q.journal == nil {
 		return errors.New("dispatch: queue closed")
 	}
-	if err := q.journal.append(journalRecord{T: recSnapshot, Job: j.ID, Worker: worker, Snapshot: &rec}); err != nil {
+	if err := q.journal.append(journalRecord{T: recSnapshot, TS: q.opts.now().UnixMicro(),
+		Job: j.ID, Worker: worker, Snapshot: &rec}); err != nil {
 		return err
 	}
 	prev := j.LastSnapshot
@@ -620,6 +628,49 @@ func (q *Queue) RecordSnapshot(jobID int, worker string, attempt int, rec Snapsh
 	// record wins), so reclaim its blob now instead of accreting one per
 	// cadence boundary until the next Resume's GC.
 	q.dropSnapshotBlobLocked(prev)
+	return nil
+}
+
+// maxSpansPerReport bounds one heartbeat's or completion's span batch — a
+// runaway worker must not be able to grow the WAL without bound.
+const maxSpansPerReport = 512
+
+// RecordSpans journals a batch of worker-side trace spans for a held cell.
+// Spans are pure observability: plain appends, no fsync, no queue-state
+// effect — losing them costs trace detail, never correctness. Returns
+// Stale when the worker no longer holds the job, so a zombie's spans from
+// a superseded attempt never pollute the trace of the current one.
+func (q *Queue) RecordSpans(jobID int, worker string, attempt int, spans []trace.Span) error {
+	if len(spans) == 0 {
+		return nil
+	}
+	if len(spans) > maxSpansPerReport {
+		return fmt.Errorf("dispatch: job %d: %d spans in one report (max %d)",
+			jobID, len(spans), maxSpansPerReport)
+	}
+	for _, s := range spans {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reapLocked(q.opts.now())
+	j, err := q.heldLocked(jobID, worker, attempt)
+	if err != nil {
+		return err
+	}
+	if q.journal == nil {
+		return errors.New("dispatch: queue closed")
+	}
+	ts := q.opts.now().UnixMicro()
+	for i := range spans {
+		s := spans[i]
+		if err := q.journal.append(journalRecord{T: recSpan, TS: ts, Job: j.ID,
+			Worker: worker, Attempt: attempt, Span: &s}); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -762,7 +813,8 @@ func (q *Queue) PutArtifact(digest string, body []byte) (bool, error) {
 	if q.journal == nil {
 		return true, errors.New("dispatch: queue closed")
 	}
-	return true, q.journal.append(journalRecord{T: recArtifact, Digest: digest, Size: int64(len(body))})
+	return true, q.journal.append(journalRecord{T: recArtifact, TS: q.opts.now().UnixMicro(),
+		Digest: digest, Size: int64(len(body))})
 }
 
 // Store exposes the queue's content-addressed artifact store (bundle

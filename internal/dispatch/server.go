@@ -12,6 +12,7 @@ import (
 
 	"sapsim/internal/fleetmetrics"
 	"sapsim/internal/scenario"
+	"sapsim/internal/trace"
 )
 
 // Wire types of the dispatcher protocol. Every request body and response
@@ -39,6 +40,12 @@ type BookResponse struct {
 	// worker fetches the blob and warm-resumes from Snapshot.At instead of
 	// replaying from t=0. Missing or damaged blobs degrade to a cold start.
 	Snapshot *SnapshotRecord `json:",omitempty"`
+	// Trace and Span propagate trace context: the cell's trace ID and the
+	// attempt span the worker parents its own spans under. Workers ship
+	// spans back on heartbeats and completion; an empty Trace (an older
+	// dispatcher) disables span collection.
+	Trace string `json:",omitempty"`
+	Span  string `json:",omitempty"`
 }
 
 // bookKey mirrors scenario.Key (kept local so the wire format is explicit).
@@ -60,6 +67,9 @@ type ProgressRequest struct {
 	// Snapshot reports a freshly uploaded engine snapshot (the blob must
 	// already be in the store via PUT /artifact/{digest}).
 	Snapshot *SnapshotRecord `json:",omitempty"`
+	// Spans carries the worker's finished trace spans since the last
+	// accepted report (engine phases, snapshot encode/upload).
+	Spans []trace.Span `json:",omitempty"`
 }
 
 // CompleteRequest reports a finished cell. Every artifact body behind
@@ -70,6 +80,9 @@ type CompleteRequest struct {
 	Job     int
 	Attempt int
 	Run     RunResult
+	// Spans is the final drain of the worker's span buffer — journaled
+	// before the completion takes effect, while the lease is still held.
+	Spans []trace.Span `json:",omitempty"`
 }
 
 // ReleaseRequest hands an abandoned cell back before its lease expires,
@@ -218,6 +231,8 @@ func (d *Dispatcher) handleBook(w http.ResponseWriter, r *http.Request) {
 			Base:            spec.Base,
 			CheckpointEvery: int64(spec.CheckpointEvery),
 			Snapshot:        job.LastSnapshot,
+			Trace:           CellTraceID(job.Key),
+			Span:            attemptSpanID(job.ID, job.Attempt),
 		})
 	}
 }
@@ -249,6 +264,16 @@ func (d *Dispatcher) handleProgress(w http.ResponseWriter, r *http.Request) {
 		}
 		d.logf("dispatch: job %d snapshot at %v from %s", req.Job, req.Snapshot.At, req.Worker)
 	}
+	if len(req.Spans) > 0 {
+		if err := d.queue.RecordSpans(req.Job, req.Worker, req.Attempt, req.Spans); err != nil {
+			if errors.Is(err, ErrStale) {
+				http.Error(w, err.Error(), http.StatusConflict)
+			} else {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			}
+			return
+		}
+	}
 	d.writeJSON(w, struct{ OK bool }{true})
 }
 
@@ -256,6 +281,19 @@ func (d *Dispatcher) handleComplete(w http.ResponseWriter, r *http.Request) {
 	var req CompleteRequest
 	if !decodeBody(w, r, &req) {
 		return
+	}
+	// The final span drain lands first, while the lease is still held — a
+	// completed job accepts no further reports, so spans after Complete
+	// would always be stale.
+	if len(req.Spans) > 0 {
+		if err := d.queue.RecordSpans(req.Job, req.Worker, req.Attempt, req.Spans); err != nil {
+			if errors.Is(err, ErrStale) {
+				http.Error(w, err.Error(), http.StatusConflict)
+			} else {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			}
+			return
+		}
 	}
 	if err := d.queue.Complete(req.Job, req.Worker, req.Attempt, req.Run); err != nil {
 		switch {

@@ -20,6 +20,7 @@ import (
 	"sapsim/internal/fleetmetrics"
 	"sapsim/internal/scenario"
 	"sapsim/internal/sim"
+	"sapsim/internal/trace"
 )
 
 // errDrained signals the dispatcher reported the sweep complete (410).
@@ -323,7 +324,7 @@ func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) e
 	if err != nil {
 		// The cell cannot be built on this worker (unknown scenario or
 		// variant name — version skew): report it as a failed run.
-		return w.complete(ctx, id, booked, RunResult{Err: err.Error()})
+		return w.complete(ctx, id, booked, RunResult{Err: err.Error()}, nil)
 	}
 
 	w.logf("worker %s: job %d (%s/%s seed %d) starting", id, booked.Job,
@@ -343,9 +344,47 @@ func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) e
 		latest  *CheckpointRecord
 		pending *pendingSnapshot
 	)
+	// Span collection: the dispatcher handed us trace context (Trace is
+	// the cell's trace ID, Span the attempt span it derives from the
+	// journal), so engine phases and upload work become spans parented
+	// under the attempt, shipped on heartbeats and the completion. An
+	// empty Trace (older dispatcher) disables collection entirely. The
+	// builder is guarded by mu — the session's event-dispatch goroutine,
+	// the heartbeat loop, and this goroutine all touch it.
+	var spanb *trace.Builder
+	if booked.Trace != "" {
+		spanb = trace.NewBuilder(booked.Trace, booked.Span, booked.Span)
+	}
+	addSpan := func(name string, start, end time.Time, attrs map[string]string) {
+		if spanb == nil {
+			return
+		}
+		mu.Lock()
+		spanb.Add(name, start, end, attrs)
+		mu.Unlock()
+	}
+	drainSpans := func() []trace.Span {
+		if spanb == nil {
+			return nil
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return spanb.Drain()
+	}
+	requeueSpans := func(batch []trace.Span) {
+		if spanb == nil || len(batch) == 0 {
+			return
+		}
+		mu.Lock()
+		spanb.Requeue(batch)
+		mu.Unlock()
+	}
 	every := sim.Time(booked.CheckpointEvery)
 	observe := sapsim.WithObserverFunc(func(ev sapsim.SessionEvent) {
 		switch c := ev.(type) {
+		case sapsim.SessionPhase:
+			addSpan(c.Name, c.Start, c.End, map[string]string{
+				"sim_from": fmt.Sprint(c.FromSim), "sim_to": fmt.Sprint(c.ToSim)})
 		case sapsim.Checkpoint:
 			rec := NewCheckpointRecord(key, spec.Base, c)
 			mu.Lock()
@@ -357,11 +396,13 @@ func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) e
 		case sapsim.SnapshotReady:
 			// Encode here, on the session's event-dispatch goroutine; the
 			// heartbeat loop ships the blob and reports the pointer.
+			encStart := time.Now()
 			blob, err := sapsim.EncodeSnapshotBytes(c.Snapshot)
 			if err != nil {
 				w.logf("worker %s: job %d snapshot encode: %v", id, booked.Job, err)
 				return
 			}
+			addSpan("snapshot-encode", encStart, time.Now(), nil)
 			mu.Lock()
 			pending = &pendingSnapshot{at: c.At, digest: artifact.Digest(blob), blob: blob}
 			mu.Unlock()
@@ -404,7 +445,7 @@ func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) e
 	if session == nil {
 		s, err := buildSession(nil)
 		if err != nil {
-			return w.complete(ctx, id, booked, RunResult{Err: err.Error()})
+			return w.complete(ctx, id, booked, RunResult{Err: err.Error()}, drainSpans())
 		}
 		session = s
 	}
@@ -451,21 +492,27 @@ func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) e
 			// pending and the next heartbeat retries (or ships a newer one).
 			var snapRec *SnapshotRecord
 			if snap != nil {
+				upStart := time.Now()
 				if err := w.uploadSnapshot(cellCtx, snap); err != nil {
 					w.logf("worker %s: job %d snapshot upload: %v", id, booked.Job, err)
 					snap = nil
 				} else {
+					addSpan("snapshot-upload", upStart, time.Now(), nil)
 					rec := NewSnapshotRecord(snap.at, snap.digest)
 					snapRec = &rec
 				}
 			}
+			spanBatch := drainSpans()
 			var ok struct{ OK bool }
 			hbStart := time.Now()
 			status, err := w.post(cellCtx, "/progress",
 				ProgressRequest{Worker: id, Job: booked.Job, Attempt: booked.Attempt,
-					Checkpoint: ckpt, Snapshot: snapRec}, &ok)
+					Checkpoint: ckpt, Snapshot: snapRec, Spans: spanBatch}, &ok)
 			if err != nil {
-				continue // transient; the lease outlives several heartbeats
+				// Transient; the lease outlives several heartbeats. The spans
+				// go back in the buffer — the next report re-ships them.
+				requeueSpans(spanBatch)
+				continue
 			}
 			if w.m != nil {
 				w.m.heartbeat.Observe(time.Since(hbStart).Seconds())
@@ -479,6 +526,7 @@ func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) e
 				// is not renewing. Log it — if this persists the lease
 				// expires, the cell re-books elsewhere, and the next
 				// heartbeat's 409 cancels this run.
+				requeueSpans(spanBatch)
 				w.logf("worker %s: job %d heartbeat rejected: status %d", id, booked.Job, status)
 			}
 			if status == http.StatusOK {
@@ -517,16 +565,18 @@ func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) e
 		// Deterministic run failure: record it, exactly as scenario.Sweep
 		// records the cell's error string.
 		stopHeartbeat()
-		return w.complete(ctx, id, booked, RunResult{Err: runErr.Error()})
+		return w.complete(ctx, id, booked, RunResult{Err: runErr.Error()}, drainSpans())
 	}
 
 	res, err := session.Result()
 	if err != nil {
 		stopHeartbeat()
-		return w.complete(ctx, id, booked, RunResult{Err: err.Error()})
+		return w.complete(ctx, id, booked, RunResult{Err: err.Error()}, drainSpans())
 	}
 	run := RunResult{Metrics: scenario.Extract(res)}
+	renderStart := time.Now()
 	bodies, err := w.Artifacts(res)
+	addSpan("artifact-render", renderStart, time.Now(), nil)
 	if err != nil {
 		run.Err = "fingerprint: " + err.Error()
 	} else {
@@ -536,6 +586,7 @@ func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) e
 		// window (the lease is renewing through it, but a crashed-and-
 		// resumed dispatcher forgets the booking) cancels the remaining
 		// transfers instead of shipping bodies toward a doomed complete.
+		upStart := time.Now()
 		if err := w.upload(cellCtx, booked.Job, bodies, digests); err != nil {
 			if cause := context.Cause(cellCtx); errors.Is(cause, ErrStale) {
 				return fmt.Errorf("job %d: %w", booked.Job, ErrStale)
@@ -544,10 +595,11 @@ func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) e
 			// (412); let the lease expire and the cell re-book.
 			return fmt.Errorf("job %d: upload: %w", booked.Job, err)
 		}
+		addSpan("artifact-upload", upStart, time.Now(), nil)
 	}
 	w.logf("worker %s: job %d finished", id, booked.Job)
 	stopHeartbeat()
-	if err := w.complete(cellCtx, id, booked, run); err != nil {
+	if err := w.complete(cellCtx, id, booked, run, drainSpans()); err != nil {
 		if cause := context.Cause(cellCtx); errors.Is(cause, ErrStale) {
 			return fmt.Errorf("job %d: %w", booked.Job, ErrStale)
 		}
@@ -670,10 +722,10 @@ func (w *Worker) upload(ctx context.Context, job int, bodies, digests map[string
 	return nil
 }
 
-func (w *Worker) complete(ctx context.Context, id string, booked *BookResponse, run RunResult) error {
+func (w *Worker) complete(ctx context.Context, id string, booked *BookResponse, run RunResult, spans []trace.Span) error {
 	var ok struct{ OK bool }
 	status, err := w.post(ctx, "/complete",
-		CompleteRequest{Worker: id, Job: booked.Job, Attempt: booked.Attempt, Run: run}, &ok)
+		CompleteRequest{Worker: id, Job: booked.Job, Attempt: booked.Attempt, Run: run, Spans: spans}, &ok)
 	if err != nil {
 		return err
 	}

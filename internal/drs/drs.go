@@ -244,8 +244,17 @@ func (c *CrossBB) Rebalance(now sim.Time) int {
 			}
 			byKind[bb.Kind] = append(byKind[bb.Kind], bb)
 		}
-		for _, bbs := range byKind {
-			total += c.rebalanceGroup(bbs, now)
+		// Kinds in fixed order: ranging over the map directly would order
+		// same-tick migrations differently from run to run, breaking the
+		// engine's determinism guarantee (and the byte-identical event
+		// logs the snapshot round-trip and sweep tests pin).
+		kinds := make([]topology.BBKind, 0, len(byKind))
+		for kind := range byKind {
+			kinds = append(kinds, kind)
+		}
+		sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+		for _, kind := range kinds {
+			total += c.rebalanceGroup(byKind[kind], now)
 		}
 	}
 	return total

@@ -95,6 +95,32 @@ func (l Labels) Pairs() []string {
 	return append([]string(nil), l.kv...)
 }
 
+// With returns a copy of the set with one label added, or replaced if the
+// name is already present. The receiver is unchanged (Labels stay
+// immutable); scrapers use it to stamp a target-identity label onto every
+// sample of a scrape.
+func (l Labels) With(name, value string) Labels {
+	kv := make([]string, 0, len(l.kv)+2)
+	inserted := false
+	for i := 0; i < len(l.kv); i += 2 {
+		switch {
+		case l.kv[i] == name:
+			kv = append(kv, name, value)
+			inserted = true
+		case !inserted && l.kv[i] > name:
+			kv = append(kv, name, value)
+			inserted = true
+			kv = append(kv, l.kv[i], l.kv[i+1])
+		default:
+			kv = append(kv, l.kv[i], l.kv[i+1])
+		}
+	}
+	if !inserted {
+		kv = append(kv, name, value)
+	}
+	return Labels{kv: kv}
+}
+
 // Equal reports whether two label sets are identical.
 func (l Labels) Equal(o Labels) bool {
 	if len(l.kv) != len(o.kv) {

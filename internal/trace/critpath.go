@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// PhaseStat aggregates all spans sharing one name across the span set.
+type PhaseStat struct {
+	Name  string
+	Count int
+	Total time.Duration
+	Mean  time.Duration
+	Max   time.Duration
+}
+
+// Analysis is the result of Analyze: sweep makespan, the straggler trace,
+// the critical path through it, and the per-phase latency breakdown.
+type Analysis struct {
+	Start    int64 // earliest span start, microseconds
+	End      int64 // latest span end, microseconds
+	Makespan time.Duration
+	Traces   int
+	Spans    int
+
+	// Straggler is the trace whose root span ends last — the cell that
+	// set the sweep's wall clock.
+	Straggler string
+	// Critical is the chain of spans from the straggler's root down to
+	// the leaf that finished last: the path whose latency bounds the
+	// sweep end-to-end.
+	Critical []Span
+
+	Phases []PhaseStat
+}
+
+// Analyze computes the makespan, critical path, and per-phase latency
+// breakdown of a merged span set. The critical path descends from the
+// last-finishing root span into whichever child ends last, repeatedly: at
+// every level, that child is the reason the parent (and so the sweep)
+// wasn't done sooner.
+func Analyze(spans []Span) Analysis {
+	merged := Merge(spans)
+	a := Analysis{Spans: len(merged)}
+	if len(merged) == 0 {
+		return a
+	}
+
+	children := make(map[[2]string][]Span)
+	roots := make(map[string]Span)
+	a.Start = merged[0].Start
+	for _, s := range merged {
+		if s.Start < a.Start {
+			a.Start = s.Start
+		}
+		if s.End > a.End {
+			a.End = s.End
+		}
+		if s.Parent == "" {
+			if r, ok := roots[s.Trace]; !ok || s.Start < r.Start {
+				roots[s.Trace] = s
+			}
+		} else {
+			k := [2]string{s.Trace, s.Parent}
+			children[k] = append(children[k], s)
+		}
+	}
+	a.Traces = len(roots)
+	a.Makespan = time.Duration(a.End-a.Start) * time.Microsecond
+
+	// Straggler: the trace whose root ends last (ties broken by trace ID
+	// for determinism).
+	var straggler Span
+	first := true
+	for _, r := range roots {
+		if first || r.End > straggler.End ||
+			(r.End == straggler.End && r.Trace < straggler.Trace) {
+			straggler = r
+			first = false
+		}
+	}
+	a.Straggler = straggler.Trace
+
+	// Descend into the child that ends last at each level.
+	cur := straggler
+	a.Critical = append(a.Critical, cur)
+	for {
+		kids := children[[2]string{cur.Trace, cur.ID}]
+		if len(kids) == 0 {
+			break
+		}
+		next := kids[0]
+		for _, k := range kids[1:] {
+			if k.End > next.End || (k.End == next.End && k.ID < next.ID) {
+				next = k
+			}
+		}
+		a.Critical = append(a.Critical, next)
+		cur = next
+	}
+
+	byName := make(map[string]*PhaseStat)
+	for _, s := range merged {
+		st := byName[s.Name]
+		if st == nil {
+			st = &PhaseStat{Name: s.Name}
+			byName[s.Name] = st
+		}
+		d := s.Duration()
+		st.Count++
+		st.Total += d
+		if d > st.Max {
+			st.Max = d
+		}
+	}
+	for _, st := range byName {
+		st.Mean = st.Total / time.Duration(st.Count)
+		a.Phases = append(a.Phases, *st)
+	}
+	sort.Slice(a.Phases, func(i, j int) bool {
+		if a.Phases[i].Total != a.Phases[j].Total {
+			return a.Phases[i].Total > a.Phases[j].Total
+		}
+		return a.Phases[i].Name < a.Phases[j].Name
+	})
+	return a
+}
+
+// Report renders the analysis as a human-readable critical-path report.
+func (a Analysis) Report(w io.Writer) {
+	fmt.Fprintf(w, "trace: %d spans across %d cells, makespan %s\n",
+		a.Spans, a.Traces, round(a.Makespan))
+	if a.Straggler == "" {
+		return
+	}
+	fmt.Fprintf(w, "\nstraggler cell: %s\ncritical path:\n", a.Straggler)
+	for i, s := range a.Critical {
+		attrs := ""
+		if wk := s.Attrs["worker"]; wk != "" {
+			attrs = " worker=" + wk
+		}
+		fmt.Fprintf(w, "%s%-18s %10s%s\n",
+			indent(i), s.Name, round(s.Duration()), attrs)
+	}
+	fmt.Fprintf(w, "\nper-phase latency (by total):\n")
+	fmt.Fprintf(w, "  %-18s %6s %12s %12s %12s\n", "phase", "count", "total", "mean", "max")
+	for _, p := range a.Phases {
+		fmt.Fprintf(w, "  %-18s %6d %12s %12s %12s\n",
+			p.Name, p.Count, round(p.Total), round(p.Mean), round(p.Max))
+	}
+}
+
+func indent(depth int) string {
+	s := "  "
+	for i := 0; i < depth; i++ {
+		s += "  "
+	}
+	return s
+}
+
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d
+	}
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAnalyzeCriticalPath(t *testing.T) {
+	// Two cells: the straggler finishes at t=1s, dominated by its run
+	// phase; the fast cell finishes at 300ms.
+	spans := []Span{
+		span("slow", "cell-1", "", "cell", 0, 1_000_000),
+		span("slow", "cell-1/q1", "cell-1", "queue-wait", 0, 100_000),
+		span("slow", "cell-1/a1", "cell-1", "attempt", 100_000, 1_000_000),
+		span("slow", "cell-1/a1/s1", "cell-1/a1", "build", 100_000, 150_000),
+		span("slow", "cell-1/a1/s2", "cell-1/a1", "run", 150_000, 980_000),
+		span("fast", "cell-2", "", "cell", 0, 300_000),
+		span("fast", "cell-2/a1", "cell-2", "attempt", 50_000, 300_000),
+	}
+	a := Analyze(spans)
+
+	if a.Traces != 2 || a.Spans != len(spans) {
+		t.Fatalf("traces=%d spans=%d", a.Traces, a.Spans)
+	}
+	if a.Makespan != time.Second {
+		t.Fatalf("makespan = %s, want 1s", a.Makespan)
+	}
+	if a.Straggler != "slow" {
+		t.Fatalf("straggler = %q, want slow", a.Straggler)
+	}
+	var path []string
+	for _, s := range a.Critical {
+		path = append(path, s.Name)
+	}
+	want := "cell>attempt>run"
+	if got := strings.Join(path, ">"); got != want {
+		t.Fatalf("critical path %q, want %q", got, want)
+	}
+
+	if len(a.Phases) == 0 || a.Phases[0].Name != "cell" {
+		t.Fatalf("phase breakdown not sorted by total: %+v", a.Phases)
+	}
+	for _, p := range a.Phases {
+		if p.Name == "run" {
+			if p.Count != 1 || p.Total != 830*time.Millisecond {
+				t.Fatalf("run phase stat wrong: %+v", p)
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	a.Report(&buf)
+	out := buf.String()
+	for _, needle := range []string{"straggler cell: slow", "critical path:", "run", "per-phase latency"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("report missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(nil)
+	if a.Spans != 0 || a.Traces != 0 || len(a.Critical) != 0 {
+		t.Fatalf("empty analysis not empty: %+v", a)
+	}
+	var buf bytes.Buffer
+	a.Report(&buf) // must not panic
+}

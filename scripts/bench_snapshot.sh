@@ -4,8 +4,9 @@
 # The ROADMAP mandates a BENCH_*.json perf trajectory: one committed snapshot
 # per PR so speedups and regressions stay visible across re-anchors. This
 # script runs the in-tree bench suites (sim, nova, telemetry, promql,
-# scenario, and the root figure/table + end-to-end cell benches) with
-# -benchmem and serializes (ns/op, B/op, allocs/op) per benchmark.
+# scrape ingest, scenario, and the root figure/table + end-to-end cell
+# benches) with -benchmem and serializes (ns/op, B/op, allocs/op) per
+# benchmark.
 #
 # Usage:
 #   scripts/bench_snapshot.sh snapshot [-o FILE] [-quick] [-full]
@@ -70,6 +71,7 @@ snapshot() {
 	if [ "$quick" = 1 ]; then
 		run_suite ./internal/sim . 200ms "$tsv"
 		run_suite ./internal/nova . 200ms "$tsv"
+		run_suite ./internal/scrape 'BenchmarkScrapeIngest$' 200ms "$tsv"
 		run_suite . 'BenchmarkFullCell$' 3x "$tsv"
 		run_suite . 'BenchmarkSnapshotEncode$|BenchmarkRestore$' 3x "$tsv"
 	else
@@ -77,6 +79,7 @@ snapshot() {
 		run_suite ./internal/nova . 1s "$tsv"
 		run_suite ./internal/telemetry . 1s "$tsv"
 		run_suite ./internal/promql . 1s "$tsv"
+		run_suite ./internal/scrape 'BenchmarkScrapeIngest$' 1s "$tsv"
 		run_suite ./internal/scenario 'BenchmarkSweep$' 3x "$tsv"
 		run_suite ./internal/scenario 'BenchmarkWarmVsColdSweep' 3x "$tsv"
 		run_suite . 'BenchmarkFigure|BenchmarkTable' 3x "$tsv"

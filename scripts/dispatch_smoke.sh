@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # Dispatcher smoke: start dispatchd + 2 simworkers on localhost, kill one
 # worker mid-cell, and assert the lease re-book completes the sweep with a
-# merged report. Then export the finished sweep as a report bundle with
-# `sweep -bundle` and re-verify every bundled artifact body's SHA-256
-# against the journal's digests. Exercises the real binaries over the real
-# wire protocol — the deterministic in-process equivalent lives in
-# internal/dispatch tests.
+# merged report. A fleet flight recorder (`analyze -record`) polls every
+# /metrics endpoint throughout and its dataset must replay into queue and
+# utilization timelines afterwards. Then export the finished sweep as a
+# report bundle with `sweep -bundle` plus a Chrome trace with `-trace`,
+# re-verify every bundled artifact body's SHA-256 against the journal's
+# digests, and assert the trace's span tree covers every cell's
+# queued→done lifecycle across the crash. Exercises the real binaries over
+# the real wire protocol — the deterministic in-process equivalent lives
+# in internal/dispatch tests.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,6 +40,15 @@ victim_pid=$!
   -metrics "$worker_metrics" \
   >/dev/null 2>"$workdir/survivor.err" &
 survivor_pid=$!
+
+# Fleet flight recorder: poll both /metrics endpoints for the whole sweep,
+# appending every sample to an on-disk dataset that survives whatever the
+# sweep (or the recorder) does next.
+fleet="$workdir/fleet"
+"$workdir/analyze" -record "$fleet" \
+  -scrape "http://$addr/metrics,http://$worker_metrics/metrics" -every 300ms \
+  >"$workdir/recorder.out" 2>"$workdir/recorder.err" &
+recorder_pid=$!
 
 # Kill the victim once the dispatcher has journaled a snapshot from it —
 # guaranteed mid-cell, with warm-resumable state already in the store.
@@ -75,6 +88,21 @@ if ! wait "$dispatchd_pid"; then
 fi
 wait "$survivor_pid" || { echo "smoke: survivor failed" >&2; cat "$workdir/survivor.err" >&2; exit 1; }
 
+# Stop the recorder and replay its dataset: the recording must be
+# non-empty, reloadable, and must render the sweep's fleet timelines.
+kill -INT "$recorder_pid" 2>/dev/null || true
+wait "$recorder_pid" || { echo "smoke: recorder failed" >&2; cat "$workdir/recorder.err" >&2; exit 1; }
+rows=$(($(wc -l < "$fleet/fleet.csv") - 1))
+[ "$rows" -gt 0 ] ||
+  { echo "smoke: flight recorder dataset is empty" >&2; exit 1; }
+"$workdir/analyze" -fleet "$fleet" >"$workdir/fleet.out" ||
+  { echo "smoke: fleet timeline replay failed" >&2; exit 1; }
+grep -q 'queue depth by state' "$workdir/fleet.out" ||
+  { echo "smoke: fleet replay is missing the queue-depth timeline" >&2; exit 1; }
+grep -q 'worker utilization' "$workdir/fleet.out" ||
+  { echo "smoke: fleet replay is missing the worker-utilization timeline" >&2; exit 1; }
+echo "smoke: flight recorder captured $rows samples across the sweep"
+
 grep -q '"attempt":2' "$journal/journal.jsonl" ||
   { echo "smoke: no lease re-book recorded in the journal" >&2; exit 1; }
 grep -q 'booked by survivor (attempt 2)' "$workdir/dispatchd.err" ||
@@ -95,9 +123,31 @@ echo "smoke: journaled snapshots: $(grep -c '"t":"snapshot"' "$journal/journal.j
 # materialize the bundle from the finished journal and re-verify every
 # body's recomputed SHA-256 against the digests the journal recorded.
 bundle="$workdir/bundle"
-"$workdir/sweepcli" -resume "$journal" -bundle "$bundle" \
+trace="$workdir/trace.json"
+"$workdir/sweepcli" -resume "$journal" -bundle "$bundle" -trace "$trace" \
   >"$workdir/bundle.out" 2>"$workdir/bundle.err" ||
   { echo "smoke: bundle export failed" >&2; cat "$workdir/bundle.err" >&2; exit 1; }
+
+# The exported trace must reconstruct the full cell lifecycle from the
+# journal: one root span per cell of the 2x2 matrix, exactly one attempt
+# span per booking the journal recorded (including the victim's), and the
+# worker-shipped engine-phase spans merged in.
+test -s "$trace" || { echo "smoke: no trace exported" >&2; exit 1; }
+cells=$(grep -o '"name":"cell"' "$trace" | wc -l)
+[ "$cells" -eq 4 ] ||
+  { echo "smoke: trace has $cells cell root spans, want 4" >&2; exit 1; }
+attempts=$(grep -o '"name":"attempt"' "$trace" | wc -l)
+booked=$(grep -c '"state":"booked"' "$journal/journal.jsonl")
+[ "$attempts" -eq "$booked" ] ||
+  { echo "smoke: trace has $attempts attempt spans but the journal recorded $booked bookings" >&2; exit 1; }
+runs=$(grep -o '"name":"run"' "$trace" | wc -l)
+[ "$runs" -gt 0 ] ||
+  { echo "smoke: trace has no worker-shipped engine run spans" >&2; exit 1; }
+"$workdir/analyze" -critpath "$trace" >"$workdir/critpath.out" ||
+  { echo "smoke: critical-path analysis failed" >&2; exit 1; }
+grep -q 'critical path:' "$workdir/critpath.out" ||
+  { echo "smoke: critical-path report is incomplete" >&2; exit 1; }
+echo "smoke: trace verified ($cells cells, $attempts attempts for $booked bookings, $runs run spans)"
 
 test -s "$bundle/index.html" || { echo "smoke: bundle has no index" >&2; exit 1; }
 test -s "$bundle/scenarios/host-failures/report.txt" ||

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"sapsim/internal/core"
 	"sapsim/internal/sim"
@@ -89,12 +90,29 @@ type Error struct {
 	Err error
 }
 
+// SessionPhase reports the wall-clock cost of one engine phase: "build"
+// (simulation assembly), "run" (an uninterrupted AdvanceTo segment), or
+// "snapshot-capture" (engine state capture at a snapshot boundary). It is
+// the session's hook for external tracing — a supervisor turns these into
+// spans attributed to the cell's attempt. Phase events are only measured
+// and emitted when observers are registered; an observer-less run pays no
+// clock reads on the driving loop.
+type SessionPhase struct {
+	Name string
+	// Start and End bound the phase in wall-clock time.
+	Start, End time.Time
+	// FromSim and ToSim bound the phase in simulated time (equal for
+	// phases that do not advance the clock, like build).
+	FromSim, ToSim sim.Time
+}
+
 func (Progress) sessionEvent()      {}
 func (Placement) sessionEvent()     {}
 func (Migration) sessionEvent()     {}
 func (ArtifactReady) sessionEvent() {}
 func (Checkpoint) sessionEvent()    {}
 func (Error) sessionEvent()         {}
+func (SessionPhase) sessionEvent()  {}
 
 // Observer receives session events. Observers run on a dedicated dispatch
 // goroutine, never on the simulation hot loop: a slow observer delays its
@@ -378,6 +396,10 @@ func (s *Session) Build() error {
 	if len(s.opts.observers) > 0 {
 		s.disp = newDispatcher(s.opts.observers)
 	}
+	var buildStart time.Time
+	if s.disp != nil {
+		buildStart = time.Now()
+	}
 	var hooks core.Hooks
 	if s.disp != nil {
 		hooks.OnPlacement = func(now sim.Time, vm, flavor, node, reason string) {
@@ -429,6 +451,10 @@ func (s *Session) Build() error {
 		}
 	}
 	s.state = StateBuilt
+	if s.disp != nil {
+		s.disp.publish(SessionPhase{Name: "build", Start: buildStart, End: time.Now(),
+			FromSim: base, ToSim: base})
+	}
 	return nil
 }
 
@@ -500,26 +526,52 @@ func (s *Session) advance(target sim.Time) error {
 		for s.nextSnapshot <= target && s.nextSnapshot < s.cfg.Horizon() {
 			boundary := s.nextSnapshot
 			if boundary > s.sim.Now() {
-				if err := s.sim.AdvanceTo(boundary, interrupt); err != nil {
+				if err := s.runSegment(boundary, interrupt); err != nil {
 					return s.abort(err)
 				}
+			}
+			var phaseStart time.Time
+			if s.disp != nil {
+				phaseStart = time.Now()
 			}
 			snap, err := s.sim.Snapshot()
 			if err != nil {
 				return s.abort(err)
+			}
+			if s.disp != nil {
+				s.disp.publish(SessionPhase{Name: "snapshot-capture",
+					Start: phaseStart, End: time.Now(), FromSim: boundary, ToSim: boundary})
 			}
 			s.lastSnapshot = snap
 			s.publish(SnapshotReady{At: boundary, Snapshot: snap})
 			s.nextSnapshot = boundary + every
 		}
 	}
-	if err := s.sim.AdvanceTo(target, interrupt); err != nil {
+	if err := s.runSegment(target, interrupt); err != nil {
 		return s.abort(err)
 	}
 	if s.sim.Done() {
 		s.finish()
 	}
 	return nil
+}
+
+// runSegment advances the engine to target in one uninterrupted stretch,
+// measured as a "run" phase when observers are registered. Zero-length
+// segments (target already reached) publish nothing.
+func (s *Session) runSegment(target sim.Time, interrupt func() error) error {
+	if s.disp == nil {
+		return s.sim.AdvanceTo(target, interrupt)
+	}
+	from := s.sim.Now()
+	if target <= from {
+		return s.sim.AdvanceTo(target, interrupt)
+	}
+	start := time.Now()
+	err := s.sim.AdvanceTo(target, interrupt)
+	s.disp.publish(SessionPhase{Name: "run", Start: start, End: time.Now(),
+		FromSim: from, ToSim: s.sim.Now()})
+	return err
 }
 
 // abort routes a driving-loop error to the matching terminal state and
