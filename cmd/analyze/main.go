@@ -9,6 +9,7 @@
 //	analyze -record DIR -scrape URL[,URL...] [-every D] [-for D]
 //	analyze -fleet DIR
 //	analyze -critpath trace.json
+//	analyze -engprof DIR|FILE [-against DIR|FILE] [-top N] [-critpath trace.json]
 //
 // With -scrape, analyze pulls live Prometheus exposition endpoints (a
 // dispatchd's and any simworker -metrics listeners) into a fresh telemetry
@@ -21,6 +22,13 @@
 // queue-depth and worker-utilization timelines; -critpath analyzes a
 // Chrome trace exported by sweep/dispatchd -trace: critical path through
 // the slowest cell plus a per-phase latency breakdown.
+//
+// With -engprof, analyze aggregates the per-cell engine self-profiles a
+// sweep exports (sweep -engprof DIR): the fleet-wide per-phase time/work
+// attribution table, the top event owners, and the straggler cells with
+// their dominant phase. -against diffs two exports; combining with
+// -critpath joins each straggler's attributed time against its wall-clock
+// cell span from the trace.
 package main
 
 import (
@@ -58,10 +66,18 @@ func main() {
 		forDur  = flag.Duration("for", 0, "stop -record after this long (0 = until interrupted)")
 		fleet   = flag.String("fleet", "", "render queue-depth and worker-utilization timelines from a flight recording (dir or CSV)")
 		crit    = flag.String("critpath", "", "critical-path and per-phase latency analysis of an exported Chrome trace")
+		engprof = flag.String("engprof", "", "aggregate per-cell engine self-profiles (a sweep -engprof export dir, or one .engprof.json file)")
+		against = flag.String("against", "", "second -engprof export to diff against")
+		topN    = flag.Int("top", 12, "event-owner rows to show in -engprof mode")
 	)
 	flag.Parse()
 
 	switch {
+	case *engprof != "":
+		if err := runEngprof(*engprof, *against, *crit, *topN); err != nil {
+			fatal(err)
+		}
+		return
 	case *crit != "":
 		if err := runCritpath(*crit); err != nil {
 			fatal(err)

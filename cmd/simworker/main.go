@@ -20,7 +20,16 @@
 // -metrics starts an HTTP listener serving the worker's fleet metrics
 // (in-flight vs capacity, per-cell wall time, heartbeat RTT, upload dedup)
 // in Prometheus exposition format at GET /metrics, scrapeable by the
-// in-tree scrape/promql stack alongside the dispatcher's endpoint.
+// in-tree scrape/promql stack alongside the dispatcher's endpoint. Each
+// completed cell also feeds its engine self-profile into per-phase
+// worker_engine_phase_seconds histograms (labeled {worker, phase}), so a
+// scrape shows live where the fleet's simulation time is going — the
+// same attribution analyze -engprof renders post-hoc.
+//
+// Beyond the artifact bodies, every completed cell ships its engine
+// self-profile blob into the store; the profile pointer survives the
+// cell's completion and any dispatcher crash, so sweep -engprof can
+// export per-cell attribution even from a resumed sweep.
 //
 // The worker exits 0 once the dispatcher reports the sweep drained.
 package main

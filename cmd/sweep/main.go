@@ -24,7 +24,15 @@
 //	      [-scenarios a,b,...] [-variants x,y,...] [-seeds 7,11,...] \
 //	      [-workers N] [-timeout D] [-out DIR] [-diff] [-list] [-branch] \
 //	      [-dispatch ADDR] [-resume DIR] [-journal DIR] [-bundle DIR] \
-//	      [-trace FILE]
+//	      [-trace FILE] [-engprof DIR]
+//
+// -engprof DIR exports each cell's engine self-profile — the always-on
+// per-phase wall-time/work attribution the core collects as it runs — as
+// one JSON file per cell (scenario__variant__seed.engprof.json), ready for
+// analyze -engprof. In-process sweeps write the files as cells finish; the
+// dispatched and resumed modes read the blobs the workers shipped into the
+// content-addressed store (profile pointers survive completion and
+// kill+resume, so a resumed sweep exports attribution for every cell).
 //
 // -trace FILE exports the sweep's cell-lifecycle trace as Chrome
 // trace-event JSON (load it at https://ui.perfetto.dev): per cell, a root
@@ -91,6 +99,7 @@ func main() {
 		branch       = flag.Bool("branch", false, "warm-fork cells sharing a (variant, seed) from one snapshot of their common prefix (in-process mode only; byte-identical to a cold sweep)")
 		bundleDir    = flag.String("bundle", "", "materialize a digest-verified report bundle (artifact bodies included) into this directory")
 		traceOut     = flag.String("trace", "", "export the sweep's cell-lifecycle trace (Chrome trace-event JSON, Perfetto-loadable) to this file")
+		engprofDir   = flag.String("engprof", "", "export each cell's engine self-profile as JSON into this directory (for analyze -engprof)")
 	)
 	flag.Parse()
 
@@ -135,11 +144,11 @@ func main() {
 	start := time.Now()
 	switch {
 	case *resumeDir != "":
-		res, err = resumeSweep(ctx, *resumeDir, *dispatchTo, *workers, *progress, *bundleDir, *traceOut)
+		res, err = resumeSweep(ctx, *resumeDir, *dispatchTo, *workers, *progress, *bundleDir, *traceOut, *engprofDir)
 	case *dispatchTo != "":
-		res, err = serveSweep(ctx, parseSpec(), *dispatchTo, pickJournalDir(*journalDir, *out), *progress, *bundleDir, *traceOut)
+		res, err = serveSweep(ctx, parseSpec(), *dispatchTo, pickJournalDir(*journalDir, *out), *progress, *bundleDir, *traceOut, *engprofDir)
 	default:
-		res, err = localSweep(ctx, parseSpec(), *workers, *diff, *progress, *branch, *bundleDir, *traceOut)
+		res, err = localSweep(ctx, parseSpec(), *workers, *diff, *progress, *branch, *bundleDir, *traceOut, *engprofDir)
 	}
 	if err != nil {
 		fatal(err)
@@ -189,7 +198,7 @@ func main() {
 // byte-identical to the bundle a dispatched sweep of the same matrix
 // produces.
 func localSweep(ctx context.Context, spec dispatch.Spec, workers int,
-	fingerprint, progress, branch bool, bundleDir, traceFile string) (*scenario.SweepResult, error) {
+	fingerprint, progress, branch bool, bundleDir, traceFile, engprofDir string) (*scenario.SweepResult, error) {
 	m, err := spec.Matrix()
 	if err != nil {
 		return nil, err
@@ -221,6 +230,32 @@ func localSweep(ctx context.Context, spec dispatch.Spec, workers int,
 	} else if fingerprint {
 		m.Fingerprint = func(res *core.Result) (map[string]string, error) {
 			return sapsim.ArtifactDigests(res)
+		}
+	}
+	// Profile export hangs off OnResult — deliberately not Fingerprint —
+	// so the wall-clock-dependent profile bytes never enter the
+	// byte-identity contract the three execution modes share.
+	var profErr error
+	var profMu sync.Mutex
+	profiles := 0
+	if engprofDir != "" {
+		if err := os.MkdirAll(engprofDir, 0o755); err != nil {
+			return nil, err
+		}
+		m.OnResult = func(key scenario.Key, res *core.Result) {
+			if res.Profile == nil {
+				return
+			}
+			blob, err := sapsim.EncodeProfileBytes(res.Profile)
+			if err == nil {
+				err = os.WriteFile(filepath.Join(engprofDir, profileFileName(key)), blob, 0o644)
+			}
+			profMu.Lock()
+			if err != nil && profErr == nil {
+				profErr = fmt.Errorf("engprof export %s/%s seed %d: %w", key.Scenario, key.Variant, key.Seed, err)
+			}
+			profiles++
+			profMu.Unlock()
 		}
 	}
 	total := len(m.Scenarios) * len(m.Variants) * len(m.Seeds)
@@ -262,6 +297,12 @@ func localSweep(ctx context.Context, spec dispatch.Spec, workers int,
 		if err := exportSpans(traceFile, tracer.spans()); err != nil {
 			return nil, err
 		}
+	}
+	if engprofDir != "" {
+		if profErr != nil {
+			return nil, profErr
+		}
+		fmt.Fprintf(os.Stderr, "sweep: exported %d engine profiles to %s\n", profiles, engprofDir)
 	}
 	return res, nil
 }
@@ -337,7 +378,7 @@ func (lt *localTracer) spans() []trace.Span {
 // serveSweep is the dispatcher path: journal the matrix and serve it to
 // external simworkers until drained.
 func serveSweep(ctx context.Context, spec dispatch.Spec, addr, journalDir string,
-	progress bool, bundleDir, traceFile string) (*scenario.SweepResult, error) {
+	progress bool, bundleDir, traceFile, engprofDir string) (*scenario.SweepResult, error) {
 	q, err := dispatch.NewQueue(journalDir, spec, dispatch.QueueOptions{})
 	if err != nil {
 		return nil, err
@@ -350,6 +391,9 @@ func serveSweep(ctx context.Context, spec dispatch.Spec, addr, journalDir string
 	if err == nil && traceFile != "" {
 		err = exportJournalTrace(traceFile, q.Dir())
 	}
+	if err == nil && engprofDir != "" {
+		err = exportQueueProfiles(engprofDir, q)
+	}
 	return res, err
 }
 
@@ -358,7 +402,7 @@ func serveSweep(ctx context.Context, spec dispatch.Spec, addr, journalDir string
 // workers re-upload any artifact bodies the resume audit found missing or
 // damaged, so the bundle that materializes afterward is complete.
 func resumeSweep(ctx context.Context, dir, addr string, workers int,
-	progress bool, bundleDir, traceFile string) (*scenario.SweepResult, error) {
+	progress bool, bundleDir, traceFile, engprofDir string) (*scenario.SweepResult, error) {
 	q, err := dispatch.Resume(dir, dispatch.QueueOptions{})
 	if err != nil {
 		return nil, err
@@ -381,7 +425,40 @@ func resumeSweep(ctx context.Context, dir, addr string, workers int,
 	if err == nil && traceFile != "" {
 		err = exportJournalTrace(traceFile, q.Dir())
 	}
+	if err == nil && engprofDir != "" {
+		err = exportQueueProfiles(engprofDir, q)
+	}
 	return res, err
+}
+
+// profileFileName is the per-cell profile artifact name shared by the
+// in-process and dispatched export paths (and parsed back by analyze).
+func profileFileName(key scenario.Key) string {
+	return fmt.Sprintf("%s__%s__%d.engprof.json", key.Scenario, key.Variant, key.Seed)
+}
+
+// exportQueueProfiles reads each terminal cell's self-profile blob out of
+// the sweep's content-addressed store — where the workers shipped them,
+// and where they outlive both cell completion and dispatcher crashes —
+// and writes one JSON file per cell.
+func exportQueueProfiles(dir string, q *dispatch.Queue) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	n := 0
+	err := q.EachProfile(func(key scenario.Key, rec dispatch.ProfileRecord) error {
+		blob, err := q.Store().Get(rec.Digest)
+		if err != nil {
+			return fmt.Errorf("engprof export %s/%s seed %d: %w", key.Scenario, key.Variant, key.Seed, err)
+		}
+		n++
+		return os.WriteFile(filepath.Join(dir, profileFileName(key)), blob, 0o644)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep: exported %d engine profiles to %s\n", n, dir)
+	return nil
 }
 
 // exportJournalTrace reconstructs the sweep's full trace from the

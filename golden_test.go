@@ -35,6 +35,19 @@ func TestGoldenArtifacts(t *testing.T) {
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
+	// The self-profiler is always on; prove it was actually engaged for
+	// this run, so the digest comparison below demonstrates profiling
+	// leaves all 18 artifacts byte-identical rather than being a no-op.
+	if res.Profile == nil {
+		t.Fatal("golden run carried no engine profile")
+	}
+	if err := res.Profile.Validate(); err != nil {
+		t.Fatalf("golden run profile invalid: %v", err)
+	}
+	if res.Profile.Events == 0 || res.Profile.AccountedNanos == 0 {
+		t.Fatalf("profiler idle during golden run: %d events, %d ns attributed",
+			res.Profile.Events, res.Profile.AccountedNanos)
+	}
 	got := make(map[string]string)
 	var order []string
 	for _, exp := range Experiments() {

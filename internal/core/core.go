@@ -16,6 +16,7 @@ import (
 
 	"sapsim/internal/analysis"
 	"sapsim/internal/drs"
+	"sapsim/internal/engprof"
 	"sapsim/internal/esx"
 	"sapsim/internal/events"
 	"sapsim/internal/exporter"
@@ -126,6 +127,12 @@ type Result struct {
 	Events *events.Log
 	// SchedStats snapshots the scheduler counters at the end.
 	SchedStats nova.Stats
+	// Profile is the engine self-profiler's per-phase wall-time and work
+	// attribution for this cell, refreshed on every Result call. Its
+	// values are wall-clock measurements — deliberately excluded from the
+	// golden artifact set — while its collection never influences event
+	// order (see internal/engprof).
+	Profile *engprof.Profile
 }
 
 // Horizon reports the simulated window.
@@ -192,9 +199,12 @@ type sampler struct {
 	vmLabels   map[vmmodel.ID]telemetry.Labels
 	// contention is sampleVMs' scratch map, cleared and refilled per sweep.
 	contention map[topology.NodeID]float64
+	// prof receives appended-sample counts: the sampling phases' work-unit
+	// proxy (each append is one buffered sample landing in the store).
+	prof *engprof.Collector
 }
 
-func newSampler(res *Result, cfg Config) *sampler {
+func newSampler(res *Result, cfg Config, prof *engprof.Collector) *sampler {
 	return &sampler{
 		res:        res,
 		cfg:        cfg,
@@ -202,6 +212,7 @@ func newSampler(res *Result, cfg Config) *sampler {
 		hostLabels: make(map[topology.NodeID]telemetry.Labels),
 		vmLabels:   make(map[vmmodel.ID]telemetry.Labels),
 		contention: make(map[topology.NodeID]float64),
+		prof:       prof,
 	}
 }
 
@@ -220,6 +231,7 @@ func (s *sampler) labelsFor(h *esx.Host) telemetry.Labels {
 
 func (s *sampler) sampleHosts(now sim.Time) {
 	interval := s.cfg.SampleEvery
+	var ops int64
 	s.res.Fleet.EachHost(func(h *esx.Host) {
 		if h.Node.Maintenance {
 			return
@@ -228,6 +240,7 @@ func (s *sampler) sampleHosts(now sim.Time) {
 		m := h.Snapshot(now, interval)
 		app := func(metric string, v float64) {
 			s.app.Append(metric, l, now, v)
+			ops++
 		}
 		app(exporter.MetricHostCPUUtil, m.CPUUtilPct)
 		app(exporter.MetricHostMemUsage, m.MemUsagePct)
@@ -245,10 +258,14 @@ func (s *sampler) sampleHosts(now sim.Time) {
 	// Out-of-order cannot occur: the ticker is strictly monotonic. Ignore
 	// the error to keep the hot path lean.
 	_, _ = s.app.Commit()
+	if s.prof != nil {
+		s.prof.AddOps(engprof.PhaseHostSample, ops)
+	}
 }
 
 func (s *sampler) sampleVMs(now sim.Time, live map[vmmodel.ID]*vmmodel.VM) {
 	fleet := s.res.Fleet
+	var ops int64
 	// Snapshot host contention once per host for throttling. When the VM
 	// sweep shares an instant with the host sweep this reads the snapshot
 	// cache rather than re-walking every host's VMs.
@@ -278,7 +295,11 @@ func (s *sampler) sampleVMs(now sim.Time, live map[vmmodel.ID]*vmmodel.VM) {
 		u := h.VMSnapshot(vm, now, s.cfg.VMSampleEvery, contention[vm.Node.ID])
 		s.app.Append(exporter.MetricVMCPURatio, l, now, u.CPUUsageRatio)
 		s.app.Append(exporter.MetricVMMemRatio, l, now, u.MemUsageRatio)
+		ops += 2
 	}
 	s.app.Append(exporter.MetricInstancesTotal, telemetry.Labels{}, now, float64(len(live)))
 	_, _ = s.app.Commit()
+	if s.prof != nil {
+		s.prof.AddOps(engprof.PhaseVMSample, ops+1)
+	}
 }

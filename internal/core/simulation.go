@@ -8,6 +8,7 @@ import (
 
 	"sapsim/internal/analysis"
 	"sapsim/internal/drs"
+	"sapsim/internal/engprof"
 	"sapsim/internal/esx"
 	"sapsim/internal/events"
 	"sapsim/internal/nova"
@@ -105,6 +106,14 @@ type Simulation struct {
 	// env is the base injector environment (nil without injectors); fork
 	// restores copy it to inject branch injectors after the queue is back.
 	env *Env
+	// prof is the always-on engine self-profiler: every simulation carries
+	// one, the engine/scheduler/DRS write attribution into it, and Result
+	// snapshots it. It reads the wall clock and nothing else, so it cannot
+	// perturb event order.
+	prof *engprof.Collector
+	// placement is kept so the profile can fold the placement database's
+	// operation counters into its owner breakdown.
+	placement *placement.Service
 }
 
 // indexPayload encodes an instance index as an event payload.
@@ -139,6 +148,8 @@ func assemble(cfg Config, hooks Hooks, snap *snapshot.Snapshot) (*Simulation, er
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	prof := engprof.New()
+	buildStart := prof.Start()
 	region, err := topology.Build(topology.DefaultBuildSpec(cfg.Scale))
 	if err != nil {
 		return nil, fmt.Errorf("core: building region: %w", err)
@@ -155,10 +166,12 @@ func assemble(cfg Config, hooks Hooks, snap *snapshot.Snapshot) (*Simulation, er
 				return false
 			}})
 	}
-	sched, err := nova.NewScheduler(fleet, placement.NewService(), cfg.Scheduler)
+	pl := placement.NewService()
+	sched, err := nova.NewScheduler(fleet, pl, cfg.Scheduler)
 	if err != nil {
 		return nil, fmt.Errorf("core: scheduler: %w", err)
 	}
+	sched.SetProfiler(prof)
 	s := &Simulation{
 		cfg:   cfg,
 		hooks: hooks,
@@ -170,12 +183,15 @@ func assemble(cfg Config, hooks Hooks, snap *snapshot.Snapshot) (*Simulation, er
 			Scheduler: sched,
 			Events:    &events.Log{},
 		},
-		engine:   sim.NewEngine(),
-		live:     make(map[vmmodel.ID]*vmmodel.VM),
-		rearmers: make(map[string]func([]byte) (sim.Rearmed, error)),
-		rngs:     make(map[string]*rand.PCG),
-		down:     make(map[topology.NodeID]int),
+		engine:    sim.NewEngine(),
+		live:      make(map[vmmodel.ID]*vmmodel.VM),
+		rearmers:  make(map[string]func([]byte) (sim.Rearmed, error)),
+		rngs:      make(map[string]*rand.PCG),
+		down:      make(map[topology.NodeID]int),
+		prof:      prof,
+		placement: pl,
 	}
+	s.engine.SetProfiler(prof)
 	res, engine, live := s.res, s.engine, s.live
 
 	spec := workload.DefaultSpec(cfg.VMs, cfg.Seed)
@@ -296,7 +312,7 @@ func assemble(cfg Config, hooks Hooks, snap *snapshot.Snapshot) (*Simulation, er
 
 	// Host telemetry sampler. OnTick fires after the sweep so observers see
 	// a consistent snapshot of the just-sampled state.
-	sampler := newSampler(res, cfg)
+	sampler := newSampler(res, cfg, prof)
 	s.sampler = sampler
 	hostTick := sampler.sampleHosts
 	if hooks.OnTick != nil {
@@ -322,6 +338,7 @@ func assemble(cfg Config, hooks Hooks, snap *snapshot.Snapshot) (*Simulation, er
 			every = sim.Hour
 		}
 		s.rebalancer = drs.New(fleet, drs.DefaultConfig())
+		s.rebalancer.SetProfiler(prof)
 		res.DRS = s.rebalancer
 		s.rebalancer.OnMigrate = func(vm *vmmodel.VM, from, to *topology.Node, now sim.Time) {
 			record(events.Event{At: now, Type: events.MigrateIntraBB,
@@ -443,6 +460,7 @@ func assemble(cfg Config, hooks Hooks, snap *snapshot.Snapshot) (*Simulation, er
 		}
 	}
 
+	prof.EndSpan(engprof.PhaseBuild, buildStart, int64(len(instances)))
 	return s, nil
 }
 
@@ -469,8 +487,30 @@ func (s *Simulation) LastArrival() sim.Time { return s.lastArrival }
 // Result returns the simulation's live result. Telemetry, events, and the
 // VM population accumulate as the clock advances; the end-of-run summary
 // counters (SchedStats, migration totals) are filled once the horizon is
-// reached.
-func (s *Simulation) Result() *Result { return s.res }
+// reached. Each call refreshes Result.Profile with the profiler's current
+// attribution.
+func (s *Simulation) Result() *Result {
+	s.res.Profile = s.snapshotProfile()
+	return s.res
+}
+
+// Profiler exposes the simulation's engine self-profiler, so callers that
+// measure work outside the engine loop on this cell's behalf (the session's
+// snapshot encode) can attribute it into the same profile.
+func (s *Simulation) Profiler() *engprof.Collector { return s.prof }
+
+// snapshotProfile folds the subsystem counters the collector cannot see
+// from the engine loop — placement-database operations, the fleet's
+// snapshot-cache outcomes — into the owner breakdown, then snapshots.
+func (s *Simulation) snapshotProfile() *engprof.Profile {
+	hits, misses := s.res.Fleet.SnapshotCacheStats()
+	s.prof.SetOwnerOps("esx/snapshot-cache/hit", int64(hits))
+	s.prof.SetOwnerOps("esx/snapshot-cache/miss", int64(misses))
+	pst := s.placement.Stats()
+	s.prof.SetOwnerOps("placement/claims", pst.Claims)
+	s.prof.SetOwnerOps("placement/claim-conflicts", pst.ClaimConflicts)
+	return s.prof.Profile()
+}
 
 // ErrFinished is returned when advancing a simulation past its horizon.
 var ErrFinished = errors.New("core: simulation already finished")

@@ -65,7 +65,11 @@ import (
 // (worker-side trace spans journaled next to the state transitions they
 // annotate), so a finished or crashed sweep's full cell-lifecycle trace is
 // reconstructable from the journal alone.
-const FormatVersion = 4
+// Version 5 added profile records: each completed cell ships its engine
+// self-profile (per-phase time/work attribution) into the store and
+// journals a pointer, which — unlike a snapshot's — survives the cell's
+// completion for post-hoc analysis (analyze -engprof).
+const FormatVersion = 5
 
 // ConfigSpec is the serializable subset of core.Config — the knobs the
 // sweep CLIs vary. Config reconstructs a full core.Config from it on the
@@ -361,5 +365,7 @@ type JobStatus struct {
 	// Snapshot points at the newest uploaded engine snapshot, the state a
 	// re-booking of this cell would warm-resume from.
 	Snapshot *SnapshotRecord `json:",omitempty"`
-	Err      string          `json:",omitempty"`
+	// Profile points at the completed cell's engine self-profile blob.
+	Profile *ProfileRecord `json:",omitempty"`
+	Err     string         `json:",omitempty"`
 }

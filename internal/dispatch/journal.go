@@ -52,6 +52,11 @@ type journalRecord struct {
 	// cell wins — a re-booking resumes from it.
 	Snapshot *SnapshotRecord `json:"snap,omitempty"`
 
+	// profile: a worker shipped the completed cell's engine self-profile;
+	// the blob lives in the store under Profile.Digest and outlives the
+	// cell's completion (analyze -engprof reads it from the drained sweep).
+	Profile *ProfileRecord `json:"prof,omitempty"`
+
 	// artifact: a blob landed in the content-addressed store. Digest is the
 	// blob's SHA-256; Size its byte length — the record Resume uses to
 	// distinguish a truncated blob (size drifted) from a corrupt one
@@ -74,6 +79,7 @@ const (
 	recResult     = "result"
 	recArtifact   = "artifact"
 	recSnapshot   = "snapshot"
+	recProfile    = "profile"
 	recSpan       = "span"
 )
 

@@ -3,6 +3,7 @@ package dispatch
 import (
 	"time"
 
+	"sapsim/internal/engprof"
 	"sapsim/internal/fleetmetrics"
 )
 
@@ -42,7 +43,8 @@ const (
 	MetricWorkerHeartbeat = "worker_heartbeat_seconds"
 	MetricWorkerBooks     = "worker_books_total"
 	MetricWorkerBookFails = "worker_book_failures_total"
-	MetricWorkerUploads   = "worker_uploads_total" // counter{worker,outcome}: stored|dedup
+	MetricWorkerUploads   = "worker_uploads_total"        // counter{worker,outcome}: stored|dedup
+	MetricWorkerPhaseSecs = "worker_engine_phase_seconds" // histogram{worker,phase}: self-profiler time per phase per completed cell
 )
 
 // queueMetrics are the dispatcher-side instruments. All increments are
@@ -150,6 +152,28 @@ type workerMetrics struct {
 	bookFails   *fleetmetrics.Counter
 	upStored    *fleetmetrics.Counter
 	upDedup     *fleetmetrics.Counter
+
+	// reg and lbl let observeProfile register per-phase series lazily —
+	// the phase label values come from each completed cell's profile.
+	reg *fleetmetrics.Registry
+	lbl []string
+}
+
+// observeProfile exports one completed cell's per-phase self-profiler
+// attribution into the worker's live /metrics: one histogram observation
+// per phase, in seconds, labeled {worker, phase}. The registry memoizes
+// series, so repeated cells accumulate into the same histograms.
+func (m *workerMetrics) observeProfile(p *engprof.Profile) {
+	for name, c := range p.Phases {
+		if c.Nanos <= 0 {
+			continue
+		}
+		m.reg.Histogram(MetricWorkerPhaseSecs,
+			"engine self-profiler wall time per phase per completed cell",
+			fleetmetrics.ExponentialBuckets(1e-4, 4, 10),
+			append(append([]string{}, m.lbl...), "phase", name)...).
+			Observe(float64(c.Nanos) / 1e9)
+	}
 }
 
 func newWorkerMetrics(reg *fleetmetrics.Registry, id string, capacity int) *workerMetrics {
@@ -157,6 +181,8 @@ func newWorkerMetrics(reg *fleetmetrics.Registry, id string, capacity int) *work
 	capGauge := reg.Gauge(MetricWorkerCapacity, "advertised concurrent-cell capacity", lbl...)
 	capGauge.Set(float64(capacity))
 	return &workerMetrics{
+		reg:       reg,
+		lbl:       lbl,
 		inflight:  reg.Gauge(MetricWorkerInflight, "cells running right now", lbl...),
 		completed: reg.Counter(MetricWorkerCells, "cells finished", append(lbl, "outcome", "completed")...),
 		abandoned: reg.Counter(MetricWorkerCells, "cells finished", append(lbl, "outcome", "abandoned")...),

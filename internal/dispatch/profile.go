@@ -1,0 +1,47 @@
+package dispatch
+
+import "fmt"
+
+// ProfileRecord is the journaled pointer to a completed cell's engine
+// self-profile. The profile body — the JSON wire form
+// sapsim.EncodeProfileBytes produces — lives in the content-addressed
+// store under Digest, exactly like an artifact body; the record binds the
+// blob to its cell.
+//
+// A profile pointer differs from a snapshot pointer in when it matters:
+// snapshots exist only while their cell is in flight (Complete reclaims
+// the blob), while a profile is recorded at completion and must SURVIVE
+// the cell's terminal state — it is what analyze -engprof aggregates after
+// the sweep drains, including across dispatcher kills and resumes. Its
+// loss is still cheap (the attribution for one cell goes missing; results
+// are untouched), so the queue journals it with a plain append.
+type ProfileRecord struct {
+	// Format is FormatVersion at record time; Validate rejects mismatches
+	// before a version-skewed worker's pointer reaches the journal.
+	Format int
+	// Digest is the blob's SHA-256 address in the store.
+	Digest string
+	// Size is the blob's byte length — what Resume's audit uses to tell a
+	// truncated blob from a corrupt one.
+	Size int64
+}
+
+// NewProfileRecord stamps a profile pointer with the current format.
+func NewProfileRecord(digest string, size int64) ProfileRecord {
+	return ProfileRecord{Format: FormatVersion, Digest: digest, Size: size}
+}
+
+// Validate rejects records from a different format version or without a
+// usable blob address. It gates Queue.RecordProfile and journal replay.
+func (r ProfileRecord) Validate() error {
+	if r.Format != FormatVersion {
+		return fmt.Errorf("dispatch: profile record format %d, want %d", r.Format, FormatVersion)
+	}
+	if r.Digest == "" {
+		return fmt.Errorf("dispatch: profile record missing blob digest")
+	}
+	if r.Size <= 0 {
+		return fmt.Errorf("dispatch: profile record size %d", r.Size)
+	}
+	return nil
+}

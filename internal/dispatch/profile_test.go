@@ -1,0 +1,254 @@
+package dispatch
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sapsim/internal/artifact"
+	"sapsim/internal/scenario"
+)
+
+func TestProfileRecordValidation(t *testing.T) {
+	good := NewProfileRecord(artifact.Digest([]byte("profile blob")), 42)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	skewed := good
+	skewed.Format = FormatVersion + 1
+	if err := skewed.Validate(); err == nil || !strings.Contains(err.Error(), "format") {
+		t.Errorf("version-skewed record validated: %v", err)
+	}
+	blank := good
+	blank.Digest = ""
+	if blank.Validate() == nil {
+		t.Error("digest-less record validated")
+	}
+	empty := good
+	empty.Size = 0
+	if empty.Validate() == nil {
+		t.Error("zero-size record validated")
+	}
+}
+
+// TestRecordProfileFlow: the queue journals a held cell's profile pointer
+// only once its blob is in the store, supersedes it newest-wins (reclaiming
+// the old blob), and — unlike a snapshot's — keeps the blob through the
+// cell's completion: the profile is the sweep's post-hoc attribution record.
+func TestRecordProfileFlow(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	q, _ := newTestQueue(t, QueueOptions{Lease: time.Minute, now: clock.now})
+
+	job, _, err := q.Book("w1", 1)
+	if err != nil || job == nil {
+		t.Fatalf("Book = %v, %v", job, err)
+	}
+
+	// A pointer whose blob was never uploaded is rejected.
+	dangling := NewProfileRecord(artifact.Digest([]byte("never uploaded")), 13)
+	if err := q.RecordProfile(job.ID, "w1", job.Attempt, dangling); !errors.Is(err, ErrMissingBlobs) {
+		t.Fatalf("dangling profile pointer = %v, want ErrMissingBlobs", err)
+	}
+
+	firstBody := "profile attempt 1"
+	first := putBody(t, q, firstBody)
+	if err := q.RecordProfile(job.ID, "w1", job.Attempt, NewProfileRecord(first, int64(len(firstBody)))); err != nil {
+		t.Fatal(err)
+	}
+	// Strangers and stale nonces cannot record.
+	secondBody := "profile attempt 1, retransmitted with more phases"
+	second := putBody(t, q, secondBody)
+	rec2 := NewProfileRecord(second, int64(len(secondBody)))
+	if err := q.RecordProfile(job.ID, "w2", job.Attempt, rec2); !errors.Is(err, ErrStale) {
+		t.Fatalf("stranger profile = %v, want ErrStale", err)
+	}
+	if err := q.RecordProfile(job.ID, "w1", job.Attempt, rec2); err != nil {
+		t.Fatal(err)
+	}
+	// Newest wins, and the superseded blob is reclaimed immediately.
+	if st := q.Snapshot()[job.ID]; st.Profile == nil || st.Profile.Digest != second {
+		t.Fatalf("status profile = %+v, want the superseding record", st.Profile)
+	}
+	if q.Store().Has(first) {
+		t.Error("superseded profile blob not reclaimed")
+	}
+
+	// Completion is terminal for snapshots but NOT for profiles: the
+	// profile blob and pointer survive for analyze -engprof.
+	body := putBody(t, q, "fig5 body")
+	if err := q.Complete(job.ID, "w1", job.Attempt, RunResult{Digests: map[string]string{"fig5": body}}); err != nil {
+		t.Fatal(err)
+	}
+	st := q.Snapshot()[job.ID]
+	if st.State != "done" {
+		t.Fatalf("cell ended %s, want done", st.State)
+	}
+	if st.Profile == nil || st.Profile.Digest != second {
+		t.Fatalf("profile pointer lost at completion: %+v", st.Profile)
+	}
+	if !q.Store().Has(second) {
+		t.Fatal("profile blob reclaimed at completion — it must outlive the cell")
+	}
+
+	// EachProfile surfaces the terminal cell's pointer for export.
+	seen := 0
+	err = q.EachProfile(func(key scenario.Key, rec ProfileRecord) error {
+		seen++
+		if rec.Digest != second {
+			t.Errorf("EachProfile rec = %+v, want digest %s", rec, second)
+		}
+		if key.Scenario == "" {
+			t.Errorf("EachProfile key = %+v, want a populated cell key", key)
+		}
+		return nil
+	})
+	if err != nil || seen != 1 {
+		t.Fatalf("EachProfile visited %d cells, err=%v, want exactly 1", seen, err)
+	}
+}
+
+// TestResumeProfileBlobAudit: Resume verifies terminal cells' profile
+// blobs; a missing, truncated, or bit-flipped blob drops only the pointer
+// (reported distinctly in Recovered) — the cell stays done, because
+// profiles are observability, never a correctness dependency. An intact
+// blob survives the audit and the resume-time GC.
+func TestResumeProfileBlobAudit(t *testing.T) {
+	cases := []struct {
+		kind   string
+		damage func(t *testing.T, path string)
+	}{
+		{"intact", func(t *testing.T, path string) {}},
+		{"missing", func(t *testing.T, path string) {
+			if err := os.Remove(path); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated", func(t *testing.T, path string) {
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, blob[:len(blob)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"corrupt", func(t *testing.T, path string) {
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob[len(blob)/2] ^= 0x40
+			if err := os.WriteFile(path, blob, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind, func(t *testing.T) {
+			clock := &fakeClock{t: time.Unix(1000, 0)}
+			dir := t.TempDir()
+			q, err := NewQueue(dir, testSpec(), QueueOptions{Lease: time.Minute, now: clock.now})
+			if err != nil {
+				t.Fatal(err)
+			}
+			job, _, err := q.Book("w1", 1)
+			if err != nil || job == nil {
+				t.Fatalf("Book = %v, %v", job, err)
+			}
+			profBody := "encoded profile (" + tc.kind + ")"
+			digest := putBody(t, q, profBody)
+			if err := q.RecordProfile(job.ID, "w1", job.Attempt, NewProfileRecord(digest, int64(len(profBody)))); err != nil {
+				t.Fatal(err)
+			}
+			body := putBody(t, q, "fig5 body")
+			if err := q.Complete(job.ID, "w1", job.Attempt, RunResult{Digests: map[string]string{"fig5": body}}); err != nil {
+				t.Fatal(err)
+			}
+			if err := q.Close(); err != nil {
+				t.Fatal(err)
+			}
+			tc.damage(t, filepath.Join(dir, artifact.DirName, digest[:2], digest))
+
+			q2, err := Resume(dir, QueueOptions{Lease: time.Minute})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer q2.Close()
+
+			st := q2.Snapshot()[job.ID]
+			if st.State != "done" {
+				t.Fatalf("cell is %s, want done — profile damage must never un-complete a cell", st.State)
+			}
+			if tc.kind == "intact" {
+				if strings.Contains(q2.Recovered(), "profile") {
+					t.Errorf("intact profile reported as damaged: %q", q2.Recovered())
+				}
+				if st.Profile == nil || st.Profile.Digest != digest {
+					t.Fatalf("intact profile pointer lost: %+v", st.Profile)
+				}
+				if !q2.Store().Has(digest) {
+					t.Fatal("intact profile blob collected by resume GC")
+				}
+				return
+			}
+			want := "1 " + tc.kind + " profile blobs dropped (cells stay done)"
+			if !strings.Contains(q2.Recovered(), want) {
+				t.Errorf("recovered = %q, want it to contain %q", q2.Recovered(), want)
+			}
+			if st.Profile != nil {
+				t.Errorf("damaged profile pointer survived resume: %+v", st.Profile)
+			}
+			if q2.Store().Has(digest) {
+				t.Error("damaged profile blob left in the store")
+			}
+		})
+	}
+}
+
+// TestResumeDropsNonTerminalProfile: a profile pointer on an in-flight
+// cell is residue of a completion that never durably landed. Resume drops
+// the pointer silently and the GC reclaims the now-unreferenced blob; the
+// cell re-queues and re-runs as usual.
+func TestResumeDropsNonTerminalProfile(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	dir := t.TempDir()
+	q, err := NewQueue(dir, testSpec(), QueueOptions{Lease: time.Minute, now: clock.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, _, err := q.Book("w1", 1)
+	if err != nil || job == nil {
+		t.Fatalf("Book = %v, %v", job, err)
+	}
+	profBody := "profile of a completion that never landed"
+	digest := putBody(t, q, profBody)
+	if err := q.RecordProfile(job.ID, "w1", job.Attempt, NewProfileRecord(digest, int64(len(profBody)))); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	q2, err := Resume(dir, QueueOptions{Lease: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+
+	st := q2.Snapshot()[job.ID]
+	if st.State != "queued" {
+		t.Fatalf("cell is %s, want queued", st.State)
+	}
+	if st.Profile != nil {
+		t.Errorf("in-flight profile pointer survived resume: %+v", st.Profile)
+	}
+	if strings.Contains(q2.Recovered(), "profile blobs dropped") {
+		t.Errorf("silent drop reported as damage: %q", q2.Recovered())
+	}
+	if q2.Store().Has(digest) {
+		t.Error("orphaned profile blob not collected by resume GC")
+	}
+}

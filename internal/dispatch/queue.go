@@ -30,6 +30,10 @@ type Job struct {
 	// LastSnapshot points at the newest uploaded engine snapshot; a
 	// re-booking of this cell warm-resumes from it.
 	LastSnapshot *SnapshotRecord
+	// Profile points at the completed cell's engine self-profile blob. It
+	// is recorded just before Complete and — unlike LastSnapshot — survives
+	// the terminal state: it is what analyze -engprof aggregates.
+	Profile *ProfileRecord
 }
 
 // Stale is returned by Progress and Complete when the reporting worker no
@@ -186,8 +190,10 @@ func Resume(dir string, opts QueueOptions) (*Queue, error) {
 			j.Attempt = rec.Attempt
 			if st == JobQueued {
 				// A re-queue after a recorded result (the artifact audit
-				// path) invalidates that result.
+				// path) invalidates that result — and the profile that
+				// described the invalidated attempt.
 				j.Run = nil
+				j.Profile = nil
 			}
 		case recCheckpoint:
 			if rec.Checkpoint == nil || rec.Checkpoint.Validate() != nil {
@@ -201,6 +207,12 @@ func Resume(dir string, opts QueueOptions) (*Queue, error) {
 				continue
 			}
 			j.LastSnapshot = rec.Snapshot
+		case recProfile:
+			if rec.Profile == nil || rec.Profile.Validate() != nil {
+				replay.skipped++
+				continue
+			}
+			j.Profile = rec.Profile
 		case recSpan:
 			// Trace spans are observability facts, not queue state; the
 			// replay carries no effect (TraceFromJournal reads them).
@@ -288,6 +300,7 @@ func Resume(dir string, opts QueueOptions) (*Queue, error) {
 			j.State = JobQueued
 			j.Worker = ""
 			j.Run = nil
+			j.Profile = nil
 			// Disk rot is not the cell's fault: the re-run starts with a
 			// fresh attempt budget, so a cell that once completed is never
 			// pushed over MaxAttempts by blob damage.
@@ -336,13 +349,52 @@ func Resume(dir string, opts QueueOptions) (*Queue, error) {
 		}
 		j.LastSnapshot = nil
 	}
+	// Audit profile blobs. A profile is only meaningful on a terminal cell
+	// (it is recorded in the same exchange as the completion); a pointer on
+	// an in-flight cell is residue of a completion that never durably
+	// landed and is dropped. A damaged blob on a done cell drops only the
+	// pointer — the attribution for that cell goes missing, the result
+	// stays done; profiles are observability, never a correctness
+	// dependency.
+	badProfs := map[string]int{}
+	for _, j := range q.jobs {
+		if j.Profile == nil {
+			continue
+		}
+		if j.State != JobDone && j.State != JobFailed {
+			j.Profile = nil
+			continue
+		}
+		digest := j.Profile.Digest
+		verr := store.Verify(digest, j.Profile.Size)
+		switch {
+		case verr == nil:
+			continue
+		case errors.Is(verr, artifact.ErrMissing):
+			badProfs["missing"]++
+		case errors.Is(verr, artifact.ErrTruncated):
+			badProfs["truncated"]++
+			heal(digest)
+		case errors.Is(verr, artifact.ErrCorrupt):
+			badProfs["corrupt"]++
+			heal(digest)
+		default:
+			badProfs["unreadable"]++
+			heal(digest)
+		}
+		j.Profile = nil
+	}
 	// Garbage-collect orphans: blobs no remaining done cell references.
 	// Live snapshot pointers of unfinished cells count as references too —
-	// they are what the next booking resumes from.
+	// they are what the next booking resumes from — as do terminal cells'
+	// profile blobs, which outlive completion by design.
 	refs := map[string]int{}
 	for _, j := range q.jobs {
 		if j.LastSnapshot != nil && j.State != JobDone && j.State != JobFailed {
 			refs[j.LastSnapshot.Digest]++
+		}
+		if j.Profile != nil {
+			refs[j.Profile.Digest]++
 		}
 		if j.State != JobDone || j.Run == nil {
 			continue
@@ -387,6 +439,11 @@ func Resume(dir string, opts QueueOptions) (*Queue, error) {
 	for _, kind := range []string{"missing", "truncated", "corrupt", "unreadable"} {
 		if n := badSnaps[kind]; n > 0 {
 			q.recovered += fmt.Sprintf(", %d %s snapshot blobs dropped (cells restart from t=0)", n, kind)
+		}
+	}
+	for _, kind := range []string{"missing", "truncated", "corrupt", "unreadable"} {
+		if n := badProfs[kind]; n > 0 {
+			q.recovered += fmt.Sprintf(", %d %s profile blobs dropped (cells stay done)", n, kind)
 		}
 	}
 	if removeFailed > 0 {
@@ -628,6 +685,85 @@ func (q *Queue) RecordSnapshot(jobID int, worker string, attempt int, rec Snapsh
 	// record wins), so reclaim its blob now instead of accreting one per
 	// cadence boundary until the next Resume's GC.
 	q.dropSnapshotBlobLocked(prev)
+	return nil
+}
+
+// RecordProfile journals a completed cell's engine self-profile pointer.
+// The encoded profile blob must already be in the store (uploaded via
+// PUT /artifact/{digest}); a dangling pointer is rejected with
+// ErrMissingBlobs. It is called in the completion exchange, while the
+// lease is still held — the pointer then survives the cell's terminal
+// state, unlike a snapshot's, because the profile is the sweep's post-hoc
+// attribution record. Plain append, no fsync: losing it costs one cell's
+// attribution, never its result. Returns Stale when the worker no longer
+// holds the job.
+func (q *Queue) RecordProfile(jobID int, worker string, attempt int, rec ProfileRecord) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reapLocked(q.opts.now())
+	j, err := q.heldLocked(jobID, worker, attempt)
+	if err != nil {
+		return err
+	}
+	if !q.store.Has(rec.Digest) {
+		return fmt.Errorf("%w: job %d: profile blob %s not uploaded",
+			ErrMissingBlobs, jobID, rec.Digest)
+	}
+	if q.journal == nil {
+		return errors.New("dispatch: queue closed")
+	}
+	if err := q.journal.append(journalRecord{T: recProfile, TS: q.opts.now().UnixMicro(),
+		Job: j.ID, Worker: worker, Profile: &rec}); err != nil {
+		return err
+	}
+	prev := j.Profile
+	j.Profile = &rec
+	// A superseded profile (an earlier attempt's completion that never
+	// durably landed) is unreachable; reclaim its blob like a superseded
+	// snapshot's.
+	q.dropProfileBlobLocked(prev)
+	return nil
+}
+
+// dropProfileBlobLocked reclaims a profile blob no cell's pointer reaches
+// anymore. Best-effort, like dropSnapshotBlobLocked.
+func (q *Queue) dropProfileBlobLocked(prof *ProfileRecord) {
+	if prof == nil {
+		return
+	}
+	for _, j := range q.jobs {
+		if j.Profile != nil && j.Profile.Digest == prof.Digest {
+			return
+		}
+	}
+	_ = q.store.Remove(prof.Digest)
+}
+
+// EachProfile calls fn for every terminal cell that carries a profile
+// pointer, in scenario-major order — the accessor sweep -resume uses to
+// export per-cell profiles from a drained queue. fn runs outside the
+// queue lock (the store is safe for concurrent reads).
+func (q *Queue) EachProfile(fn func(key scenario.Key, rec ProfileRecord) error) error {
+	type entry struct {
+		key scenario.Key
+		rec ProfileRecord
+	}
+	q.mu.Lock()
+	var entries []entry
+	for _, j := range q.jobs {
+		if j.Profile != nil && (j.State == JobDone || j.State == JobFailed) {
+			entries = append(entries, entry{key: j.Key, rec: *j.Profile})
+		}
+	}
+	q.mu.Unlock()
+	for _, e := range entries {
+		if err := fn(e.key, e.rec); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -878,7 +1014,7 @@ func (q *Queue) Snapshot() []JobStatus {
 	for i, j := range q.jobs {
 		st := JobStatus{ID: j.ID, Key: j.Key, State: j.State.String(),
 			Worker: j.Worker, Attempt: j.Attempt, Checkpoint: j.LastCheckpoint,
-			Snapshot: j.LastSnapshot}
+			Snapshot: j.LastSnapshot, Profile: j.Profile}
 		if j.Run != nil {
 			st.Err = j.Run.Err
 		}

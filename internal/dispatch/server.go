@@ -83,6 +83,10 @@ type CompleteRequest struct {
 	// Spans is the final drain of the worker's span buffer — journaled
 	// before the completion takes effect, while the lease is still held.
 	Spans []trace.Span `json:",omitempty"`
+	// Profile points at the cell's uploaded engine self-profile blob
+	// (PUT /artifact/{digest} first, like any body). It is journaled before
+	// the completion takes effect and survives the cell's terminal state.
+	Profile *ProfileRecord `json:",omitempty"`
 }
 
 // ReleaseRequest hands an abandoned cell back before its lease expires,
@@ -290,6 +294,24 @@ func (d *Dispatcher) handleComplete(w http.ResponseWriter, r *http.Request) {
 			if errors.Is(err, ErrStale) {
 				http.Error(w, err.Error(), http.StatusConflict)
 			} else {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			}
+			return
+		}
+	}
+	// The profile pointer lands before the completion too — RecordProfile
+	// requires the lease. A rejected profile (blob not uploaded, version
+	// skew) fails the exchange before the result is durable, so the worker
+	// retries the whole completion instead of leaving a done cell with a
+	// dangling pointer.
+	if req.Profile != nil {
+		if err := d.queue.RecordProfile(req.Job, req.Worker, req.Attempt, *req.Profile); err != nil {
+			switch {
+			case errors.Is(err, ErrStale):
+				http.Error(w, err.Error(), http.StatusConflict)
+			case errors.Is(err, ErrMissingBlobs):
+				http.Error(w, err.Error(), http.StatusPreconditionFailed)
+			default:
 				http.Error(w, err.Error(), http.StatusBadRequest)
 			}
 			return

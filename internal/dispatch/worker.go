@@ -324,7 +324,7 @@ func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) e
 	if err != nil {
 		// The cell cannot be built on this worker (unknown scenario or
 		// variant name — version skew): report it as a failed run.
-		return w.complete(ctx, id, booked, RunResult{Err: err.Error()}, nil)
+		return w.complete(ctx, id, booked, RunResult{Err: err.Error()}, nil, nil)
 	}
 
 	w.logf("worker %s: job %d (%s/%s seed %d) starting", id, booked.Job,
@@ -445,7 +445,7 @@ func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) e
 	if session == nil {
 		s, err := buildSession(nil)
 		if err != nil {
-			return w.complete(ctx, id, booked, RunResult{Err: err.Error()}, drainSpans())
+			return w.complete(ctx, id, booked, RunResult{Err: err.Error()}, drainSpans(), nil)
 		}
 		session = s
 	}
@@ -565,13 +565,13 @@ func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) e
 		// Deterministic run failure: record it, exactly as scenario.Sweep
 		// records the cell's error string.
 		stopHeartbeat()
-		return w.complete(ctx, id, booked, RunResult{Err: runErr.Error()}, drainSpans())
+		return w.complete(ctx, id, booked, RunResult{Err: runErr.Error()}, drainSpans(), nil)
 	}
 
 	res, err := session.Result()
 	if err != nil {
 		stopHeartbeat()
-		return w.complete(ctx, id, booked, RunResult{Err: err.Error()}, drainSpans())
+		return w.complete(ctx, id, booked, RunResult{Err: err.Error()}, drainSpans(), nil)
 	}
 	run := RunResult{Metrics: scenario.Extract(res)}
 	renderStart := time.Now()
@@ -597,9 +597,33 @@ func (w *Worker) runCell(ctx context.Context, id string, booked *BookResponse) e
 		}
 		addSpan("artifact-upload", upStart, time.Now(), nil)
 	}
+	// Ship the cell's engine self-profile alongside the completion: encode,
+	// upload the blob, and attach the pointer. Best-effort — a cell whose
+	// profile cannot travel still completes; only its attribution goes
+	// missing from analyze -engprof.
+	var profRec *ProfileRecord
+	if prof, perr := session.Profile(); perr == nil && prof != nil {
+		if blob, eerr := sapsim.EncodeProfileBytes(prof); eerr != nil {
+			w.logf("worker %s: job %d profile encode: %v", id, booked.Job, eerr)
+		} else {
+			digest := artifact.Digest(blob)
+			upStart := time.Now()
+			if uerr := w.uploadBlob(cellCtx, digest, blob); uerr != nil {
+				w.logf("worker %s: job %d profile upload: %v (completing without attribution)",
+					id, booked.Job, uerr)
+			} else {
+				addSpan("profile-upload", upStart, time.Now(), nil)
+				rec := NewProfileRecord(digest, int64(len(blob)))
+				profRec = &rec
+				if w.m != nil {
+					w.m.observeProfile(prof)
+				}
+			}
+		}
+	}
 	w.logf("worker %s: job %d finished", id, booked.Job)
 	stopHeartbeat()
-	if err := w.complete(cellCtx, id, booked, run, drainSpans()); err != nil {
+	if err := w.complete(cellCtx, id, booked, run, drainSpans(), profRec); err != nil {
 		if cause := context.Cause(cellCtx); errors.Is(cause, ErrStale) {
 			return fmt.Errorf("job %d: %w", booked.Job, ErrStale)
 		}
@@ -621,19 +645,25 @@ type pendingSnapshot struct {
 // snapshots at an instant the previous holder already covered produces
 // the identical blob).
 func (w *Worker) uploadSnapshot(ctx context.Context, s *pendingSnapshot) error {
-	status, err := w.do(ctx, http.MethodHead, "/artifact/"+s.digest, nil)
+	return w.uploadBlob(ctx, s.digest, s.blob)
+}
+
+// uploadBlob ships one content-addressed blob (snapshot or profile wire
+// form) into the dispatcher's store, HEAD-deduplicated.
+func (w *Worker) uploadBlob(ctx context.Context, digest string, blob []byte) error {
+	status, err := w.do(ctx, http.MethodHead, "/artifact/"+digest, nil)
 	if err != nil {
 		return err
 	}
 	if status == http.StatusOK {
 		return nil // the store already holds this blob
 	}
-	status, err = w.do(ctx, http.MethodPut, "/artifact/"+s.digest, s.blob)
+	status, err = w.do(ctx, http.MethodPut, "/artifact/"+digest, blob)
 	if err != nil {
 		return err
 	}
 	if status != http.StatusCreated && status != http.StatusOK {
-		return fmt.Errorf("dispatch: snapshot blob rejected: status %d", status)
+		return fmt.Errorf("dispatch: blob %s rejected: status %d", digest, status)
 	}
 	return nil
 }
@@ -722,10 +752,10 @@ func (w *Worker) upload(ctx context.Context, job int, bodies, digests map[string
 	return nil
 }
 
-func (w *Worker) complete(ctx context.Context, id string, booked *BookResponse, run RunResult, spans []trace.Span) error {
+func (w *Worker) complete(ctx context.Context, id string, booked *BookResponse, run RunResult, spans []trace.Span, prof *ProfileRecord) error {
 	var ok struct{ OK bool }
 	status, err := w.post(ctx, "/complete",
-		CompleteRequest{Worker: id, Job: booked.Job, Attempt: booked.Attempt, Run: run, Spans: spans}, &ok)
+		CompleteRequest{Worker: id, Job: booked.Job, Attempt: booked.Attempt, Run: run, Spans: spans, Profile: prof}, &ok)
 	if err != nil {
 		return err
 	}

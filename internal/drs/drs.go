@@ -13,6 +13,7 @@ package drs
 import (
 	"sort"
 
+	"sapsim/internal/engprof"
 	"sapsim/internal/esx"
 	"sapsim/internal/sim"
 	"sapsim/internal/topology"
@@ -68,7 +69,14 @@ type DRS struct {
 	// destination hosts recompute their snapshots (the others are served
 	// from the host snapshot cache keyed on the unchanged resident set).
 	loadBuf []nodeLoad
+
+	// prof, when set, receives scan/decide sub-phase attribution (nested
+	// inside the drs tick event the engine attributes).
+	prof *engprof.Collector
 }
+
+// SetProfiler attaches the engine self-profiler's collector; nil detaches.
+func (d *DRS) SetProfiler(p *engprof.Collector) { d.prof = p }
 
 // New returns a DRS bound to the fleet.
 func New(fleet *esx.Fleet, cfg Config) *DRS {
@@ -134,34 +142,57 @@ func (d *DRS) RebalanceBB(bb *topology.BuildingBlock, now sim.Time) int {
 	d.passes++
 	moved := 0
 	for moved < d.cfg.MaxMigrationsPerPass {
+		var mark int64
+		if d.prof != nil {
+			mark = d.prof.Start()
+		}
 		loads := d.loads(bb, now)
-		if len(loads) < 2 {
+		if d.prof != nil {
+			d.prof.EndSpan(engprof.PhaseDRSScan, mark, int64(len(loads)))
+			mark = d.prof.Start()
+		}
+		moreToDo, migrated := d.decide(loads, now)
+		if d.prof != nil {
+			d.prof.EndSpan(engprof.PhaseDRSDecide, mark, int64(migrated))
+		}
+		moved += migrated
+		if !moreToDo {
 			return moved
-		}
-		coldest, hottest := loads[0], loads[len(loads)-1]
-		cpuGap := hottest.cpu - coldest.cpu
-		memGap := hottest.mem - coldest.mem
-		if cpuGap < d.cfg.CPUImbalancePct && memGap < d.cfg.MemImbalancePct {
-			return moved
-		}
-		vm := d.pickVM(hottest.host, coldest.host, now)
-		if vm == nil {
-			return moved
-		}
-		if d.OnDecide != nil {
-			d.OnDecide(vm, hottest.cpu, coldest.cpu, now)
-		}
-		from := hottest.host.Node
-		if err := d.fleet.Migrate(vm, coldest.host.Node, now); err != nil {
-			return moved
-		}
-		moved++
-		d.migrations++
-		if d.OnMigrate != nil {
-			d.OnMigrate(vm, from, coldest.host.Node, now)
 		}
 	}
 	return moved
+}
+
+// decide runs the decision half of one rebalance iteration over a scanned
+// load slice: imbalance test, victim selection, migration. It reports
+// whether the pass should scan again and how many migrations it performed
+// (0 or 1).
+func (d *DRS) decide(loads []nodeLoad, now sim.Time) (more bool, migrated int) {
+	if len(loads) < 2 {
+		return false, 0
+	}
+	coldest, hottest := loads[0], loads[len(loads)-1]
+	cpuGap := hottest.cpu - coldest.cpu
+	memGap := hottest.mem - coldest.mem
+	if cpuGap < d.cfg.CPUImbalancePct && memGap < d.cfg.MemImbalancePct {
+		return false, 0
+	}
+	vm := d.pickVM(hottest.host, coldest.host, now)
+	if vm == nil {
+		return false, 0
+	}
+	if d.OnDecide != nil {
+		d.OnDecide(vm, hottest.cpu, coldest.cpu, now)
+	}
+	from := hottest.host.Node
+	if err := d.fleet.Migrate(vm, coldest.host.Node, now); err != nil {
+		return false, 0
+	}
+	d.migrations++
+	if d.OnMigrate != nil {
+		d.OnMigrate(vm, from, coldest.host.Node, now)
+	}
+	return true, 1
 }
 
 // pickVM chooses the migration candidate: the VM with the highest CPU

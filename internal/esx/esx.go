@@ -79,6 +79,11 @@ type Host struct {
 	snapVer   uint64
 	snapValid bool
 	snap      Metrics
+	// snapHits/snapMisses count cache outcomes: every miss is one full
+	// resident-set walk, which is the engine profiler's work-unit proxy
+	// for telemetry/DRS snapshot cost (see Fleet.SnapshotCacheStats).
+	snapHits   uint64
+	snapMisses uint64
 }
 
 // Errors returned by placement operations.
@@ -271,6 +276,9 @@ func (h *Host) Snapshot(t sim.Time, interval sim.Time) Metrics {
 	if !h.snapValid || h.snapAt != t || h.snapVer != h.ver {
 		h.snap = h.snapshot(t)
 		h.snapAt, h.snapVer, h.snapValid = t, h.ver, true
+		h.snapMisses++
+	} else {
+		h.snapHits++
 	}
 	m := h.snap
 	m.CPUReadyMillis = m.CPUContentionPct / 100 * float64(interval.Duration().Milliseconds())
@@ -424,6 +432,18 @@ func (f *Fleet) Host(id topology.NodeID) (*Host, error) {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownHost, id)
 	}
 	return h, nil
+}
+
+// SnapshotCacheStats sums host snapshot-cache outcomes fleet-wide. A miss
+// is one full resident-set walk; hits quantify the work the cache saves
+// when the host sampler, the VM sampler's contention map, and DRS share a
+// sampling instant. The totals feed the engine profiler's owner breakdown.
+func (f *Fleet) SnapshotCacheStats() (hits, misses uint64) {
+	for _, h := range f.sorted() {
+		hits += h.snapHits
+		misses += h.snapMisses
+	}
+	return hits, misses
 }
 
 // sorted returns the cached fleet-wide host slice, node-ID order.

@@ -56,8 +56,8 @@ type vmFlavorTraits struct {
 // askRec remembers one consumer's claimed amounts and provider so releases
 // and moves can update the mirror without consulting placement.
 type askRec struct {
-	e          *bbEntry
-	vcpu, mem  int64
+	e         *bbEntry
+	vcpu, mem int64
 }
 
 // newEntry builds the mirror record for a building block from its current

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sapsim/internal/engprof"
 	"sapsim/internal/esx"
 	"sapsim/internal/placement"
 	"sapsim/internal/sim"
@@ -83,7 +84,16 @@ type Scheduler struct {
 	retries    int
 	eliminated map[string]int
 	contention map[topology.BBID]float64 // fed by telemetry for the contention weigher
+
+	// prof, when set, receives filter/weigh/claim sub-phase attribution.
+	// These are nested spans: their wall time is already inside the
+	// arrive/resize event interval the engine attributes, so the profiler
+	// reports them as detail, not additional total.
+	prof *engprof.Collector
 }
+
+// SetProfiler attaches the engine self-profiler's collector; nil detaches.
+func (s *Scheduler) SetProfiler(p *engprof.Collector) { s.prof = p }
 
 // NewScheduler wires a scheduler to a fleet and placement service, creating
 // one resource provider per building block.
@@ -159,6 +169,11 @@ func (s *Scheduler) Schedule(req *RequestSpec, now sim.Time) (*Result, error) {
 	askMem := req.VM.RequestedMemoryMB()
 	traits := vmFlavorTraits{requireGPU: f.RequireGPU, hana: f.Class == vmmodel.HANA}
 
+	prof := s.prof
+	var mark int64
+	if prof != nil {
+		mark = prof.Start()
+	}
 	clear(s.reasons)
 	s.hosts = s.hosts[:0]
 	for _, e := range s.entries {
@@ -172,12 +187,22 @@ func (s *Scheduler) Schedule(req *RequestSpec, now sim.Time) (*Result, error) {
 			s.hosts = append(s.hosts, &e.state)
 		}
 	}
+	if prof != nil {
+		prof.EndSpan(engprof.PhaseSchedFilter, mark, int64(len(s.entries)))
+	}
 	if len(s.hosts) == 0 {
 		s.failed++
 		return nil, &NoValidHostError{VM: req.VM.ID, Reasons: copyReasons(s.reasons)}
 	}
 
+	if prof != nil {
+		mark = prof.Start()
+	}
 	ranked := s.rbuf.rank(req, s.hosts, s.cfg.Weighers)
+	if prof != nil {
+		prof.EndSpan(engprof.PhaseSchedWeigh, mark, int64(len(s.hosts)))
+		mark = prof.Start()
+	}
 	attempts := 0
 	for _, h := range ranked {
 		if attempts >= s.cfg.MaxAttempts {
@@ -209,7 +234,13 @@ func (s *Scheduler) Schedule(req *RequestSpec, now sim.Time) (*Result, error) {
 			req.Group.record(req.VM.ID, h.BB.ID)
 			s.groups[req.VM.ID] = req.Group
 		}
+		if prof != nil {
+			prof.EndSpan(engprof.PhaseSchedClaim, mark, int64(attempts))
+		}
 		return &Result{BB: h.BB, Node: node, Attempts: attempts}, nil
+	}
+	if prof != nil {
+		prof.EndSpan(engprof.PhaseSchedClaim, mark, int64(attempts))
 	}
 	s.failed++
 	return nil, &NoValidHostError{VM: req.VM.ID, Reasons: copyReasons(s.reasons)}

@@ -104,6 +104,27 @@ type Service struct {
 	mu          sync.Mutex
 	providers   map[string]*Provider
 	allocations map[string]*Allocation
+	// Operation counters (guarded by mu). Every Claim allocates an
+	// allocation record, so the claim counters double as the engine
+	// profiler's allocation-behavior proxy for the claim phase.
+	stats Stats
+}
+
+// Stats counts placement-database operations since construction.
+type Stats struct {
+	// Claims is successful allocations; ClaimConflicts is claims rejected
+	// for capacity or duplicate consumers (the scheduler's retry trigger).
+	Claims         int64
+	ClaimConflicts int64
+	Moves          int64
+	Releases       int64
+}
+
+// Stats returns a copy of the operation counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
 }
 
 // NewService returns an empty placement service.
@@ -220,6 +241,7 @@ func (s *Service) Claim(consumer, provider string, req Request) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.allocations[consumer]; ok {
+		s.stats.ClaimConflicts++
 		return fmt.Errorf("%w: %s", ErrDuplicateConsumer, consumer)
 	}
 	p, ok := s.providers[provider]
@@ -227,6 +249,7 @@ func (s *Service) Claim(consumer, provider string, req Request) error {
 		return fmt.Errorf("%w: %s", ErrUnknownProvider, provider)
 	}
 	if !p.fits(req) {
+		s.stats.ClaimConflicts++
 		return fmt.Errorf("%w: %s on %s", ErrCapacityExceeded, consumer, provider)
 	}
 	stored := make(Request, len(req))
@@ -235,6 +258,7 @@ func (s *Service) Claim(consumer, provider string, req Request) error {
 		stored[rc] = amount
 	}
 	s.allocations[consumer] = &Allocation{Consumer: consumer, Provider: provider, Request: stored}
+	s.stats.Claims++
 	return nil
 }
 
@@ -264,6 +288,7 @@ func (s *Service) Move(consumer, newProvider string) error {
 		dst.used[rc] += amount
 	}
 	alloc.Provider = newProvider
+	s.stats.Moves++
 	return nil
 }
 
@@ -280,6 +305,7 @@ func (s *Service) Release(consumer string) error {
 		p.used[rc] -= amount
 	}
 	delete(s.allocations, consumer)
+	s.stats.Releases++
 	return nil
 }
 

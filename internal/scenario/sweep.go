@@ -69,6 +69,14 @@ type Matrix struct {
 	// full artifact-set diffing between cells. It is invoked from the
 	// worker goroutines concurrently and must be safe for concurrent use.
 	Fingerprint func(*core.Result) (map[string]string, error)
+	// OnResult observes each successfully finished cell's full Result —
+	// including its engine self-profile (Result.Profile) — before the
+	// result is reduced to Metrics. Wall-clock-dependent consumers (the
+	// profiler) hang off this hook precisely so the SweepResult itself
+	// stays byte-identical across machines and worker counts. It is
+	// invoked from the worker goroutines concurrently and must be safe
+	// for concurrent use.
+	OnResult func(Key, *core.Result)
 }
 
 // CellState is a sweep cell's lifecycle phase as reported to OnCell.
@@ -355,6 +363,9 @@ func Sweep(m Matrix) (*SweepResult, error) {
 			return
 		}
 		run := Run{Key: key, Metrics: Extract(simulation.Result())}
+		if m.OnResult != nil {
+			m.OnResult(key, simulation.Result())
+		}
 		if m.Fingerprint != nil {
 			digests, ferr := m.Fingerprint(simulation.Result())
 			if ferr != nil {

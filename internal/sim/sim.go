@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"sapsim/internal/engprof"
 )
 
 // Time is a point in simulated time, expressed as a duration since the
@@ -284,7 +286,18 @@ type Engine struct {
 	horizon Time
 	errHook func(error)
 	errs    []error
+	// prof, when set, receives per-event wall-time attribution from the
+	// run loop: one monotonic-clock read per fired event, attributed to
+	// the event's owner. Schedule and Ticker.fire stay uninstrumented —
+	// their 0 allocs/op pins are part of the engine's contract — and the
+	// profiler writes into counters nothing in the simulation reads, so
+	// event order is unaffected.
+	prof *engprof.Collector
 }
+
+// SetProfiler attaches (or, with nil, detaches) the self-profiler the run
+// loop attributes event wall time to.
+func (e *Engine) SetProfiler(p *engprof.Collector) { e.prof = p }
 
 // OnError installs a hook that observes internal scheduling errors that
 // cannot be returned to a caller (e.g. a ticker failing to reschedule).
@@ -485,6 +498,13 @@ func (e *Engine) RunInterruptible(horizon Time, check func() error) error {
 	e.horizon = horizon
 	defer func() { e.running = false }()
 
+	// The profiler's delta chain opens here: each fired event closes the
+	// interval since the previous reading and attributes it to its owner,
+	// so one clock read per event accounts for the whole loop — peek/pop
+	// included — without a second read.
+	if e.prof != nil {
+		e.prof.BeginRun()
+	}
 	for {
 		ev := e.wheel.peek()
 		if ev == nil {
@@ -505,7 +525,13 @@ func (e *Engine) RunInterruptible(horizon Time, check func() error) error {
 		}
 		e.now = ev.at
 		e.fired++
+		// ev may be reused by its own handler (Ticker.fire reschedules in
+		// place), so capture the owner before firing.
+		owner := ev.owner
 		ev.fn(ev.at)
+		if e.prof != nil {
+			e.prof.Event(owner)
+		}
 	}
 	if e.now < horizon {
 		e.now = horizon
@@ -524,6 +550,9 @@ func (e *Engine) takeErrs() error {
 // Step executes exactly one (non-canceled) event, if any, and reports
 // whether an event ran. Useful in tests.
 func (e *Engine) Step() bool {
+	if e.prof != nil {
+		e.prof.BeginRun()
+	}
 	for {
 		ev := e.wheel.pop()
 		if ev == nil {
@@ -534,7 +563,11 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.fired++
+		owner := ev.owner
 		ev.fn(ev.at)
+		if e.prof != nil {
+			e.prof.Event(owner)
+		}
 		return true
 	}
 }

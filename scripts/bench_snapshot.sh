@@ -17,14 +17,23 @@
 #   scripts/bench_snapshot.sh merge BEFORE.json AFTER.json
 #       Emit a committed trajectory point {pr, baseline, current} on stdout.
 #   scripts/bench_snapshot.sh compare BENCH_FILE.json
-#       Re-run the quick subset and warn (never fail) when a benchmark's
-#       ns/op regressed >20% against the file's current (or plain) snapshot.
+#       Re-run the quick subset and compare against the file's current (or
+#       plain) snapshot: warn when any benchmark's ns/op or allocs/op
+#       regressed >20%, and FAIL (exit 1) when a curated engine hot-path
+#       benchmark (Engine.Schedule*, Scheduler.Schedule, FullCell — the
+#       paths the PRs pin with allocation budgets) regressed >35% ns/op.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 command -v jq >/dev/null || { echo "bench_snapshot.sh: jq is required" >&2; exit 1; }
 
 REGRESSION_PCT=20
+# Curated hot-path subset: ns/op regressions past HARDFAIL_PCT on these
+# fail the compare outright instead of warning. Everything else stays
+# warn-only — bench noise on a shared CI box must not block merges, but a
+# 35% slide on the engine hot path is never noise.
+HARDFAIL_PCT=35
+HARDFAIL_RE='^(EngineSchedule|EngineScheduleRunCycle|EngineScheduleRun|SchedulerSchedule|FullCell)$'
 
 # run_suite PKG BENCH_REGEX BENCHTIME OUT_TSV — append parsed results.
 run_suite() {
@@ -83,7 +92,10 @@ snapshot() {
 		run_suite ./internal/scenario 'BenchmarkSweep$' 3x "$tsv"
 		run_suite ./internal/scenario 'BenchmarkWarmVsColdSweep' 3x "$tsv"
 		run_suite . 'BenchmarkFigure|BenchmarkTable' 3x "$tsv"
-		run_suite . 'BenchmarkFullCell$' 5x "$tsv"
+		# FullCell needs more iterations than the other suites: at 5x its
+		# ns/op swings ±10% run to run (GC and warm-up dominate); 20x is
+		# stable to ~1%, which matters because CI hard-fails on this one.
+		run_suite . 'BenchmarkFullCell$' 20x "$tsv"
 		run_suite . 'BenchmarkSnapshotEncode$|BenchmarkRestore$' 5x "$tsv"
 		if [ "$full" = 1 ]; then
 			run_suite . 'BenchmarkAblation' 1x "$tsv"
@@ -107,22 +119,53 @@ compare() {
 	snapshot -o "$tmp/now.json" -quick
 	# Accept either a plain snapshot or a {baseline, current} trajectory point.
 	jq 'if has("current") then .current else . end' "$committed" >"$tmp/ref.json"
-	jq -r --slurpfile ref "$tmp/ref.json" --argjson thr "$REGRESSION_PCT" '
-		($ref[0].benchmarks | map({key: (.package + " " + .name), value: .ns_per_op}) | from_entries) as $base |
+	# Emit one SEVERITY<TAB>message line per regression: ns/op for every
+	# benchmark (FAIL past HARDFAIL_PCT on the curated subset, WARN past
+	# REGRESSION_PCT otherwise), allocs/op (warn-only — allocation counts
+	# are deterministic, so any growth is a real code change, but one the
+	# per-package alloc-pin tests already gate where it matters).
+	jq -r --slurpfile ref "$tmp/ref.json" --argjson thr "$REGRESSION_PCT" \
+		--argjson hardthr "$HARDFAIL_PCT" --arg hard "$HARDFAIL_RE" '
+		($ref[0].benchmarks | map({key: (.package + " " + .name), value: .}) | from_entries) as $base |
 		.benchmarks[] | (.package + " " + .name) as $k |
-		select($base[$k] != null and $base[$k] > 0) |
-		(100 * (.ns_per_op / $base[$k] - 1)) as $delta |
-		select($delta > $thr) |
-		"::warning::benchmark regression: \($k) \($base[$k]) -> \(.ns_per_op) ns/op (+\($delta | floor)%)"
-	' "$tmp/now.json" | tee "$tmp/warnings.txt"
-	local n
-	n=$(wc -l <"$tmp/warnings.txt")
-	if [ "$n" -gt 0 ]; then
-		echo "bench compare: $n benchmark(s) regressed >${REGRESSION_PCT}% ns/op vs $committed (warning only)" >&2
-	else
-		echo "bench compare: no ns/op regression >${REGRESSION_PCT}% vs $committed" >&2
-	fi
+		select($base[$k] != null) | $base[$k] as $b |
+		(
+			select(($b.ns_per_op // 0) > 0) |
+			(100 * (.ns_per_op / $b.ns_per_op - 1)) as $d |
+			select($d > $thr) |
+			(if (.name | test($hard)) and $d > $hardthr then "FAIL" else "WARN" end) +
+			"\tbenchmark regression: \($k) \($b.ns_per_op) -> \(.ns_per_op) ns/op (+\($d | floor)%)"
+		),
+		(
+			select(($b.allocs_per_op // -1) >= 0 and (.allocs_per_op // -1) >= 0) |
+			if $b.allocs_per_op == 0 and .allocs_per_op > 0 then
+				"WARN\talloc regression: \($k) 0 -> \(.allocs_per_op) allocs/op (was allocation-free)"
+			elif $b.allocs_per_op > 0 and (100 * (.allocs_per_op / $b.allocs_per_op - 1)) > $thr then
+				"WARN\talloc regression: \($k) \($b.allocs_per_op) -> \(.allocs_per_op) allocs/op (+\((100 * (.allocs_per_op / $b.allocs_per_op - 1)) | floor)%)"
+			else empty end
+		)
+	' "$tmp/now.json" >"$tmp/findings.txt"
+	local fails warns
+	fails=$(grep -c '^FAIL' "$tmp/findings.txt" || true)
+	warns=$(grep -c '^WARN' "$tmp/findings.txt" || true)
+	while IFS=$'\t' read -r sev msg; do
+		[ -n "$sev" ] || continue
+		if [ "$sev" = FAIL ]; then
+			echo "::error::$msg"
+		else
+			echo "::warning::$msg"
+		fi
+	done <"$tmp/findings.txt"
 	rm -rf "$tmp"
+	if [ "$fails" -gt 0 ]; then
+		echo "bench compare: $fails hot-path benchmark(s) regressed >${HARDFAIL_PCT}% ns/op vs $committed — failing" >&2
+		return 1
+	fi
+	if [ "$warns" -gt 0 ]; then
+		echo "bench compare: $warns regression(s) >${REGRESSION_PCT}% vs $committed (warning only)" >&2
+	else
+		echo "bench compare: no regression >${REGRESSION_PCT}% (ns/op or allocs/op) vs $committed" >&2
+	fi
 }
 
 case "${1:-}" in

@@ -124,9 +124,30 @@ echo "smoke: journaled snapshots: $(grep -c '"t":"snapshot"' "$journal/journal.j
 # body's recomputed SHA-256 against the digests the journal recorded.
 bundle="$workdir/bundle"
 trace="$workdir/trace.json"
-"$workdir/sweepcli" -resume "$journal" -bundle "$bundle" -trace "$trace" \
+engprof="$workdir/engprof"
+"$workdir/sweepcli" -resume "$journal" -bundle "$bundle" -trace "$trace" -engprof "$engprof" \
   >"$workdir/bundle.out" 2>"$workdir/bundle.err" ||
   { echo "smoke: bundle export failed" >&2; cat "$workdir/bundle.err" >&2; exit 1; }
+
+# Engine self-profiles: every completed cell shipped one into the CAS, the
+# pointers survived the worker kill, the re-book, and the resume, and the
+# export must cover the full 2x2 matrix — including the re-booked cell.
+grep -q '"t":"profile"' "$journal/journal.jsonl" ||
+  { echo "smoke: no profile pointer recorded in the journal" >&2; exit 1; }
+profiles=$(find "$engprof" -name '*.engprof.json' | wc -l)
+[ "$profiles" -eq 4 ] ||
+  { echo "smoke: exported $profiles engine profiles, want 4 (one per cell)" >&2; exit 1; }
+"$workdir/analyze" -engprof "$engprof" -critpath "$trace" >"$workdir/engprof.out" ||
+  { echo "smoke: engine-profile analysis failed" >&2; exit 1; }
+grep -q 'engine profile .*: 4 cells' "$workdir/engprof.out" ||
+  { echo "smoke: engprof report did not aggregate all 4 cells" >&2; exit 1; }
+grep -q 'per-phase attribution' "$workdir/engprof.out" ||
+  { echo "smoke: engprof report is missing the per-phase attribution table" >&2; exit 1; }
+grep -q 'sample/hosts' "$workdir/engprof.out" ||
+  { echo "smoke: engprof report has no host-sampling phase row" >&2; exit 1; }
+grep -q 'stragglers' "$workdir/engprof.out" ||
+  { echo "smoke: engprof report is missing the straggler table" >&2; exit 1; }
+echo "smoke: engine profiles exported and aggregated (4 cells, per-phase attribution across kill+resume)"
 
 # The exported trace must reconstruct the full cell lifecycle from the
 # journal: one root span per cell of the 2x2 matrix, exactly one attempt
@@ -162,13 +183,15 @@ bodies=$(wc -l < "$bundle/SHA256SUMS")
 
 # Dedup + reclamation: after the drain (which reclaims every cell's
 # snapshot blob) and the resume's orphan GC, the CAS must hold exactly one
-# blob per distinct bundled digest — and strictly fewer blobs than bundled
-# bodies (the static tables are identical across all four cells).
+# blob per distinct bundled digest plus one surviving profile blob per cell
+# (profiles outlive completion by design) — and strictly fewer artifact
+# blobs than bundled bodies (the static tables are identical across all
+# four cells).
 distinct=$(cut -d' ' -f1 "$bundle/SHA256SUMS" | sort -u | wc -l)
 blobs=$(find "$journal/cas" -type f | wc -l)
-[ "$blobs" -eq "$distinct" ] ||
-  { echo "smoke: CAS holds $blobs blobs, want $distinct (one per distinct digest; snapshot blobs must be reclaimed)" >&2; exit 1; }
-[ "$blobs" -lt "$bodies" ] ||
-  { echo "smoke: no dedup: $blobs blobs for $bodies bodies" >&2; exit 1; }
+[ "$blobs" -eq $((distinct + 4)) ] ||
+  { echo "smoke: CAS holds $blobs blobs, want $distinct artifact + 4 profile blobs (snapshot blobs must be reclaimed)" >&2; exit 1; }
+[ "$distinct" -lt "$bodies" ] ||
+  { echo "smoke: no dedup: $distinct distinct blobs for $bodies bodies" >&2; exit 1; }
 
-echo "smoke: bundle verified ($bodies bodies, $blobs distinct blobs, all SHA-256 match the journal)"
+echo "smoke: bundle verified ($bodies bodies, $distinct distinct artifact blobs + 4 profile blobs, all SHA-256 match the journal)"

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sapsim/internal/core"
+	"sapsim/internal/engprof"
 	"sapsim/internal/sim"
 )
 
@@ -319,6 +320,11 @@ type Session struct {
 
 	lastSnapshot *Snapshot
 	nextSnapshot sim.Time
+	// snapEvery is the effective snapshot interval: it starts at the
+	// configured WithSnapshotEvery cadence and stretches (see
+	// stretchSnapshotEvery) when the profiler shows capture cost blowing
+	// the overhead budget.
+	snapEvery sim.Time
 
 	// migrations counts every migration hook firing (all kinds); written
 	// and read on the driving goroutine only.
@@ -437,8 +443,9 @@ func (s *Session) Build() error {
 		base = s.resume.At
 	}
 	s.nextCheckpoint = base + s.opts.checkpointEvery
-	if s.opts.snapshotEvery > 0 {
-		s.nextSnapshot = base + s.opts.snapshotEvery
+	s.snapEvery = s.opts.snapshotEvery
+	if s.snapEvery > 0 {
+		s.nextSnapshot = base + s.snapEvery
 	}
 	if s.opts.incremental {
 		s.pending = make(map[Stage][]Experiment)
@@ -522,7 +529,7 @@ func (s *Session) advance(target sim.Time) error {
 	if ctx := s.opts.ctx; ctx != nil {
 		interrupt = ctx.Err
 	}
-	if every := s.opts.snapshotEvery; every > 0 {
+	if s.snapEvery > 0 {
 		for s.nextSnapshot <= target && s.nextSnapshot < s.cfg.Horizon() {
 			boundary := s.nextSnapshot
 			if boundary > s.sim.Now() {
@@ -534,17 +541,23 @@ func (s *Session) advance(target sim.Time) error {
 			if s.disp != nil {
 				phaseStart = time.Now()
 			}
+			prof := s.sim.Profiler()
+			mark := prof.Start()
 			snap, err := s.sim.Snapshot()
 			if err != nil {
 				return s.abort(err)
 			}
+			prof.EndSpan(engprof.PhaseSnapshotEncode, mark, 1)
 			if s.disp != nil {
 				s.disp.publish(SessionPhase{Name: "snapshot-capture",
 					Start: phaseStart, End: time.Now(), FromSim: boundary, ToSim: boundary})
 			}
 			s.lastSnapshot = snap
 			s.publish(SnapshotReady{At: boundary, Snapshot: snap})
-			s.nextSnapshot = boundary + every
+			enc := prof.PhaseCounter(engprof.PhaseSnapshotEncode)
+			s.snapEvery = stretchSnapshotEvery(s.opts.snapshotEvery, s.snapEvery,
+				enc.Nanos, prof.AccountedNanos())
+			s.nextSnapshot = boundary + s.snapEvery
 		}
 	}
 	if err := s.runSegment(target, interrupt); err != nil {
@@ -621,6 +634,7 @@ func (s *Session) finish() {
 		(!s.hasCheckpoint || s.lastCheckpoint.At < now) {
 		s.takeCheckpoint(now)
 	}
+	s.publish(ProfileReady{At: s.sim.Now(), Profile: s.sim.Result().Profile})
 	s.publishProgress()
 	if s.disp != nil {
 		s.disp.close()
